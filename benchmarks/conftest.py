@@ -1,0 +1,43 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+The three studies (wear, phone, UI) are expensive, so they run once per
+pytest session and every benchmark regenerates its table or figure from the
+cached results -- mirroring the paper's own flow, where one experimental
+campaign feeds all the reported tables.
+
+Scale is selected with ``REPRO_SCALE`` (``quick`` default, ``paper`` for the
+full Table I volumes -- ~2M intents and 2x41,405 UI events on the virtual
+clock).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import phone_study, ui_study, wear_study
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def wear(scale):
+    return wear_study(scale)
+
+
+@pytest.fixture(scope="session")
+def phone(scale):
+    return phone_study(scale)
+
+
+@pytest.fixture(scope="session")
+def ui(scale):
+    return ui_study(scale)

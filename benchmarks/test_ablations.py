@@ -1,0 +1,56 @@
+"""Bench: ablation sweeps over the reproduction's design choices.
+
+These regenerate the DESIGN.md ablation index: how the two reboot findings
+respond to the aging threshold, the amount of silent error accumulation,
+and the injection pacing.  Each sweep's headline:
+
+* reboots survive a wide band of aging thresholds (higher thresholds just
+  cost more crashes before the SIGSEGV);
+* reboot #1 needs a *sequence* of absorbed mismatches -- set the wedge
+  beyond the campaign volume and it disappears ("no single deadly intent");
+* slow the pacing beyond the crash-loop window and reboot #2 disappears
+  too (the paper's 100 ms choice is load-bearing, not cosmetic).
+"""
+
+from repro.experiments.ablations import (
+    ablate_aging_threshold,
+    ablate_pacing,
+    ablate_wedge_deliveries,
+    render_rows,
+)
+
+
+def test_ablate_wedge_deliveries(benchmark):
+    rows = benchmark.pedantic(
+        ablate_wedge_deliveries, kwargs={"values": (1, 25, 200)}, rounds=1, iterations=1
+    )
+    print()
+    print(render_rows(rows))
+    by_value = {row.value: row for row in rows}
+    assert by_value[1].reboots == 1
+    assert by_value[25].reboots == 1
+    assert by_value[200].reboots == 0
+
+
+def test_ablate_pacing(benchmark):
+    rows = benchmark.pedantic(
+        ablate_pacing, kwargs={"delays_ms": (100.0, 16_000.0)}, rounds=1, iterations=1
+    )
+    print()
+    print(render_rows(rows))
+    by_value = {row.value: row for row in rows}
+    assert by_value[100.0].reboots == 1
+    assert by_value[16_000.0].reboots == 0
+
+
+def test_ablate_aging_threshold(benchmark):
+    rows = benchmark.pedantic(
+        ablate_aging_threshold, kwargs={"thresholds": (2.0, 8.0, 32.0)}, rounds=1, iterations=1
+    )
+    print()
+    print(render_rows(rows))
+    # The sensor-path reboot is threshold independent; both reboots occur
+    # across the whole band, with more crashes needed at higher thresholds.
+    assert all(row.reboots == 2 for row in rows)
+    crashes = [row.crashes_seen for row in rows]
+    assert crashes == sorted(crashes)

@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 2 (uncaught exception types by component kind).
+
+Paper reference (Fig. 2 + Section IV-A): SecurityException accounts for
+81.3% of *all* exceptions (excluded from the figure); of the rest,
+IllegalArgumentException holds the largest share, with NullPointerException
+and IllegalStateException prominent, over both Activities and Services.
+"""
+
+from repro.analysis.figures import fig2_exception_distribution
+from repro.analysis.report import render_fig2
+
+IAE = "java.lang.IllegalArgumentException"
+NPE = "java.lang.NullPointerException"
+ISE = "java.lang.IllegalStateException"
+
+
+def test_fig2_regenerates(benchmark, wear):
+    data = benchmark(fig2_exception_distribution, wear.collector)
+    print()
+    print(render_fig2(data))
+
+    # SecurityException dominates overall (paper: 81.3%).
+    assert 0.70 <= data["security_share"] <= 0.93
+
+    overall = data["overall"]
+    assert "java.lang.SecurityException" not in overall
+
+    # "After SecurityException, the second largest share belongs to
+    # IllegalArgumentException."
+    largest = max(overall, key=overall.get)
+    assert largest == IAE
+
+    top3 = sorted(overall, key=overall.get, reverse=True)[:3]
+    assert NPE in top3
+    assert ISE in set(list(overall)[:]) and overall[ISE] > 0
+
+    # Both component kinds are represented.
+    for kind in ("activity", "service"):
+        assert sum(data["by_kind"][kind].values()) > 0, kind

@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 3a (error manifestations over components).
+
+Paper reference (Fig. 3a / Section IV-A): "almost 90% of the components are
+not affected at all.  The most dominant error class is crash, which is more
+than 8X the next error class, unresponsive.  The most severe error class,
+device reboot, affects 4 of the components."
+"""
+
+from repro.analysis.figures import fig3a_manifestations
+from repro.analysis.report import render_fig3a
+
+
+def test_fig3a_regenerates(benchmark, wear):
+    data = benchmark(fig3a_manifestations, wear.collector)
+    print()
+    print(render_fig3a(data))
+
+    counts = data["counts"]
+    shares = data["shares"]
+
+    # The population is the paper's 912 components.
+    assert data["total_components"] == 912
+
+    # ~90% unaffected.
+    assert 0.85 <= shares["No Effect"] <= 0.95
+
+    # Crash dominates the error classes, well above unresponsive.
+    assert counts["Crash"] >= 6 * max(counts["Hang"], 1)
+
+    # Exactly 4 components implicated in the device reboots.
+    assert counts["Reboot"] == 4
+
+    assert sum(counts.values()) == data["total_components"]

@@ -1,0 +1,56 @@
+"""Bench: regenerate Fig. 3b (root-cause exceptions per manifestation).
+
+Paper reference (Fig. 3b / Section IV-A):
+
+* **Crash**: NullPointerException still dominates "as in all prior studies
+  on Android reliability", but its share has shrunk in favour of
+  IllegalArgumentException and IllegalStateException.
+* **No effect**: "in about 90% of the cases, there is no exception thrown
+  …  In the remaining 10% … an exception is thrown but that is handled by
+  the app gracefully."
+* **Unresponsive**: IllegalStateException dominates, with
+  android.os.DeadObjectException present.
+* **Reboot**: "three exception classes are equally culpable."
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    NO_EXCEPTION,
+    fig3b_base_counts,
+    fig3b_rootcause_by_manifestation,
+)
+from repro.analysis.report import render_fig3b
+
+NPE = "java.lang.NullPointerException"
+IAE = "java.lang.IllegalArgumentException"
+ISE = "java.lang.IllegalStateException"
+DOE = "android.os.DeadObjectException"
+
+
+def test_fig3b_regenerates(benchmark, wear):
+    data = benchmark(fig3b_rootcause_by_manifestation, wear.collector)
+    print()
+    print(render_fig3b(data, fig3b_base_counts(wear.collector)))
+
+    crash = data["Crash"]
+    # NPE leads the crash causes, but below Android-2012's 46%.
+    assert max(crash, key=crash.get) == NPE
+    assert crash[NPE] < 0.46
+    assert crash[IAE] > 0.10
+    assert crash[ISE] > 0.10
+
+    no_effect = data["No Effect"]
+    assert 0.80 <= no_effect[NO_EXCEPTION] <= 0.97
+    handled_share = 1.0 - no_effect[NO_EXCEPTION]
+    assert 0.03 <= handled_share <= 0.20        # paper: ~10%
+
+    hang = data["Hang"]
+    assert max(hang, key=hang.get) == ISE
+    assert DOE in hang                          # "garbage collection can have
+                                                #  the undesirable effect"
+
+    reboot = data["Reboot"]
+    assert len(reboot) == 3
+    for share in reboot.values():
+        assert share == pytest.approx(1 / 3)

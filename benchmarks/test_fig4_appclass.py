@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 4 (crash-causing exceptions by app classification).
+
+Paper reference (Fig. 4 / Section IV-B): "built-in apps reported crashes at
+a higher rate (64%) than third-party apps (46%)", with the failures
+including built-in core AW components (Google Fit, Motorola Body).  The
+percentage of each exception class is computed taking the two application
+classes together.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig4_crashes_by_app_class
+from repro.analysis.report import render_fig4
+from repro.apps.builtin import GOOGLE_FIT_PACKAGE, MOTOROLA_BODY_PACKAGE
+
+
+def test_fig4_regenerates(benchmark, wear):
+    data = benchmark(fig4_crashes_by_app_class, wear.collector)
+    print()
+    print(render_fig4(data))
+
+    rates = data["app_crash_rate"]
+    # Built-in apps crash at a higher rate; both near the paper's numbers.
+    assert rates["Built-in"] > rates["Third Party"]
+    assert rates["Built-in"] == pytest.approx(7 / 11, abs=0.12)     # paper: 64%
+    assert rates["Third Party"] == pytest.approx(16 / 35, abs=0.10)  # paper: 46%
+
+    # The named built-in fitness components are among the crashers.
+    assert GOOGLE_FIT_PACKAGE in data["apps_crashed"]["Built-in"]
+    assert MOTOROLA_BODY_PACKAGE in data["apps_crashed"]["Built-in"]
+
+    # Shares are normalised over both classes together.
+    total = sum(
+        share for shares in data["class_shares"].values() for share in shares.values()
+    )
+    assert total == pytest.approx(1.0)

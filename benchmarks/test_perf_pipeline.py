@@ -1,0 +1,78 @@
+"""Performance benchmarks for the pipeline's hot paths.
+
+Unlike the table/figure benches (which regenerate results from cached
+studies), these time the moving parts themselves: campaign generation,
+intent injection throughput, log parsing, and study folding -- the numbers
+that determine how long a paper-scale (~2M intent) run takes.
+"""
+
+import pytest
+
+from repro.analysis.logparse import parse_events
+from repro.analysis.manifest import StudyCollector
+from repro.apps.catalog import build_wear_corpus
+from repro.qgj.campaigns import Campaign, generate
+from repro.qgj.fuzzer import FuzzConfig, FuzzerLibrary
+from repro.wear.device import WearDevice
+
+
+@pytest.fixture(scope="module")
+def installed_watch():
+    corpus = build_wear_corpus(seed=2018)
+    watch = WearDevice("bench-watch")
+    corpus.install(watch)
+    return corpus, watch
+
+
+def test_campaign_a_generation_throughput(benchmark):
+    from repro.android.intent import ComponentName
+
+    cmp = ComponentName("com.a", "com.a.Main")
+
+    def run():
+        return sum(1 for _ in generate(Campaign.A, component=cmp))
+
+    count = benchmark(run)
+    assert count == 1548
+
+
+def test_injection_throughput(benchmark, installed_watch):
+    corpus, watch = installed_watch
+    fuzzer = FuzzerLibrary(watch)
+    info = watch.packages.get_package("com.runmate.wear").activities()[1]
+
+    def run():
+        return fuzzer.fuzz_component(
+            info, Campaign.B, FuzzConfig(max_intents_per_component=141)
+        )
+
+    result = benchmark(run)
+    assert result.sent == 141
+
+
+def test_log_parsing_throughput(benchmark, installed_watch):
+    corpus, watch = installed_watch
+    fuzzer = FuzzerLibrary(watch)
+    watch.logcat.clear()
+    fuzzer.fuzz_app("com.runmate.wear", Campaign.B, FuzzConfig())
+    text = watch.adb.logcat()
+    assert text
+
+    events = benchmark(parse_events, text)
+    assert events
+
+
+def test_collector_fold_throughput(benchmark, installed_watch):
+    corpus, watch = installed_watch
+    fuzzer = FuzzerLibrary(watch)
+    watch.logcat.clear()
+    fuzzer.fuzz_app("com.fitband.wear", Campaign.B, FuzzConfig())
+    text = watch.adb.logcat()
+
+    def run():
+        collector = StudyCollector(corpus.packages())
+        collector.fold(text, "com.fitband.wear", "B")
+        return collector
+
+    collector = benchmark(run)
+    assert collector.segments_folded == 1

@@ -1,0 +1,29 @@
+"""Bench: regenerate Table I (the Fuzz Intent Campaign definitions).
+
+Paper reference (Table I): campaign volumes per component follow
+|Action| x |TypeOf(Data)| for A, |Action| + |TypeOf(Data)| for B, three
+randomised rounds for C, and one valid {Action, Data} pair (plus 1-5 random
+extras) per action for D -- overall A (~1M) >> C (~300K) > D (~250K) >
+B (~100K) at paper scale.
+"""
+
+from repro.analysis.report import render_table1
+from repro.analysis.tables import table1_campaigns
+from repro.qgj.campaigns import Campaign
+
+
+def test_table1_regenerates(benchmark, wear):
+    rows = benchmark(table1_campaigns, wear.summary)
+    print()
+    print(render_table1(rows))
+
+    volumes = {row["campaign"]: row["intents_per_component"] for row in rows}
+    # The paper's volume ordering must hold at any scale.
+    assert volumes[Campaign.A] > volumes[Campaign.C] > volumes[Campaign.D] > volumes[Campaign.B]
+
+    measured = {row["campaign"]: row["intents_sent"] for row in rows}
+    assert all(count > 0 for count in measured.values())
+    if all(wear.config.fuzz.stride_for(c) == 1 for c in Campaign):
+        # At paper scale campaign A dominates the measured volume too (the
+        # quick config deliberately thins A 12x while keeping B/D in full).
+        assert measured[Campaign.A] == max(measured.values())

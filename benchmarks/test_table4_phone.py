@@ -1,0 +1,45 @@
+"""Bench: regenerate Table IV (phone crash distribution per exception type).
+
+Paper reference (Table IV), Nexus 6 / Android 7.1.1, 175 crashes:
+
+    NullPointerException        54  30.9%
+    ClassNotFoundException      46  26.3%
+    IllegalArgumentException    31  17.7%
+    IllegalStateException       10   5.7%
+    RuntimeException             9   5.1%
+    ActivityNotFoundException    7   4.0%
+    UnsupportedOperationException 6  3.4%
+    Others                      12   6.9%
+
+Shape: NPE leads on the phone (vs. the Wear results where its share shrank),
+with ClassNotFoundException a strong second -- "input validation on Android
+has improved over the years".
+"""
+
+from repro.analysis.report import render_table4
+from repro.analysis.tables import table4_phone_crashes
+
+NPE = "java.lang.NullPointerException"
+CNFE = "java.lang.ClassNotFoundException"
+IAE = "java.lang.IllegalArgumentException"
+
+
+def test_table4_regenerates(benchmark, phone):
+    rows = benchmark(table4_phone_crashes, phone.collector)
+    print()
+    print(render_table4(rows))
+
+    shares = {row["exception"]: row["share"] for row in rows}
+    counts = {row["exception"]: row["crashes"] for row in rows}
+
+    # Top-3 ordering straight from the paper.
+    ordered = [row["exception"] for row in rows]
+    assert ordered[:3] == [NPE, CNFE, IAE]
+
+    assert 0.25 <= shares[NPE] <= 0.37          # paper: 30.9%
+    assert 0.20 <= shares[CNFE] <= 0.32         # paper: 26.3%
+    assert 0.12 <= shares[IAE] <= 0.24          # paper: 17.7%
+
+    total = sum(counts.values())
+    assert 150 <= total <= 200                   # paper: 175 crashes
+    assert rows[-1]["exception"] == "Others"

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""QGJ-UI: mutational UI-event fuzzing on the Watch emulator (Fig. 1b).
+
+Shows the full pipeline with its intermediate artifacts:
+
+* the Monkey log (the real tool's grammar -- QGJ-UI parses it back);
+* a few semi-valid and random mutants side by side with their adb shell
+  lowering (including the paper's famous off-screen tap);
+* the Table V summary for both mutation modes.
+
+Run:  python examples/ui_monkey.py
+"""
+
+from repro.apps.builtin import google_fit_spec_key
+from repro.apps.catalog import build_wear_corpus, emulator_packages
+from repro.apps.health import register_health_factories
+from repro.qgj.monkey import Monkey, parse_monkey_log
+from repro.qgj.ui_fuzzer import (
+    EventMutator,
+    MutationMode,
+    QGJUi,
+    event_to_shell,
+    render_table5,
+)
+from repro.wear.device import PhoneDevice, WearDevice, pair
+
+
+def build_emulator() -> WearDevice:
+    corpus = build_wear_corpus(seed=2018)
+    emulator = WearDevice(
+        "watch-emulator", model="Android Watch Emulator (API 25)", is_emulator=True
+    )
+    phone = PhoneDevice("nexus6")
+    pair(phone, emulator)
+    selection = emulator_packages(corpus)
+    corpus.registry.install(emulator.activity_manager)
+    register_health_factories(emulator.activity_manager)
+    google_fit_spec_key(corpus.registry, emulator.activity_manager)
+    for package in selection:
+        emulator.install(package)
+    print(
+        f"emulator carries {len(selection)} apps "
+        "(all non-vendor built-ins + top-20 third-party)\n"
+    )
+    return emulator
+
+
+def main() -> None:
+    emulator = build_emulator()
+
+    # Step 5-6: run monkey, show its log, parse it back.
+    monkey = Monkey(emulator, seed=7)
+    log_text = monkey.run(12)
+    print("monkey log excerpt:")
+    for line in log_text.splitlines()[:8]:
+        print("  " + line)
+    events = parse_monkey_log(log_text)
+    print(f"parsed {len(events)} events back out of the log\n")
+
+    # Step 7: mutate a few events both ways.
+    mutator = EventMutator(events, seed=1)
+    print(f"{'original':<42} {'semi-valid':<42} random")
+    for event in events[:6]:
+        semi = mutator.mutate(event, MutationMode.SEMI_VALID)
+        rand = mutator.mutate(event, MutationMode.RANDOM)
+        print(
+            f"{event_to_shell(event):<42.41} "
+            f"{event_to_shell(semi):<42.41} "
+            f"{event_to_shell(rand):.41}"
+        )
+
+    # Step 8: the full experiment at reduced volume.
+    print("\nrunning QGJ-UI, both modes ...\n")
+    results = QGJUi(emulator, seed=25).run(4000)
+    print(render_table5(results))
+    print(
+        f"\nno system crash during UI injection (boot count: {emulator.boot_count})"
+        " -- UI handlers and the adb tools validate far better than intent"
+        " handlers do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of *How Reliable Is My Wearable: A Fuzz Testing-based Study*
+(Barsallo Yi, Maji, Bagchi -- DSN 2018).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.android` -- a simulated Android OS substrate (intents,
+  components, permissions, processes, sensors, system server, logcat, adb).
+* :mod:`repro.wear` -- the Android Wear layer (paired devices, MessageAPI /
+  DataAPI, Ambient mode, Google Fit, complications, wear UI widgets).
+* :mod:`repro.apps` -- the synthetic app corpus standing in for the study's
+  46 wearable and 63 phone applications, with calibrated input-validation
+  behaviour models.
+* :mod:`repro.qgj` -- **the paper's contribution**: the Qui-Gon Jinn fuzzer
+  (QGJ-Master's four Fuzz Intent Campaigns and QGJ-UI's mutational UI
+  fuzzing on top of a Monkey-style event generator).
+* :mod:`repro.analysis` -- the logcat-driven analysis pipeline: parsing,
+  root-cause attribution, manifestation classification, and the generators
+  for every table and figure in the paper.
+* :mod:`repro.experiments` -- end-to-end experiment harnesses at quick and
+  paper scale.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["android", "wear", "apps", "qgj", "analysis", "experiments"]

@@ -1,0 +1,10 @@
+"""Command-line entry point: ``python -m repro [quick|paper]``.
+
+Runs the three studies (wear, phone, QGJ-UI) and prints the complete
+reproduced report -- every table and figure from the paper's evaluation.
+"""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Cross-study comparison: Android Wear vs Android vs the 2012 baseline.
+
+The paper's central longitudinal claim (Sections IV-A/IV-C/V):
+
+    "Over the years, input validation has improved and fewer
+    NullPointerExceptions are seen, however, Android Wear apps crash from
+    unhandled IllegalStateExceptions at a higher rate. […] in contrast to
+    [Maji et al. 2012], Android Wear shows fewer crashes from
+    NullPointerExceptions and more crashes from IllegalStateExceptions."
+
+This module makes that three-way comparison a first-class analysis: it
+carries the JJB/DSN-2012 baseline distribution as reference data, extracts
+comparable crash-cause distributions from any pair of folded
+:class:`~repro.analysis.manifest.StudyCollector` instances, and renders the
+evolution table the conclusion paraphrases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.manifest import StudyCollector
+
+#: Crash-cause distribution reported for stock Android 2.2/2.3 by
+#: Maji et al., "An Empirical Study of the Robustness of Inter-component
+#: Communication in Android" (DSN 2012) -- the JJB study QGJ extends.  The
+#: paper's headline reference point: "NullPointerExceptions contributed to
+#: 46% of all exceptions".
+JJB_2012_BASELINE: Dict[str, float] = {
+    "java.lang.NullPointerException": 0.46,
+    "java.lang.IllegalArgumentException": 0.12,
+    "java.lang.ClassCastException": 0.09,
+    "java.lang.ArrayIndexOutOfBoundsException": 0.08,
+    "java.lang.IllegalStateException": 0.05,
+    "java.lang.SecurityException": 0.05,
+    "(others)": 0.15,
+}
+
+#: Classes the longitudinal story tracks explicitly.
+TRACKED_CLASSES = (
+    "java.lang.NullPointerException",
+    "java.lang.IllegalArgumentException",
+    "java.lang.IllegalStateException",
+    "java.lang.ClassNotFoundException",
+)
+
+
+def crash_share_distribution(collector: StudyCollector) -> Dict[str, float]:
+    """Per-class share of crash components in one folded study."""
+    counts: Counter = Counter()
+    for record in collector.component_records():
+        dominant = record.dominant_crash_class()
+        if dominant is not None:
+            counts[dominant] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {cls: count / total for cls, count in counts.items()}
+
+
+@dataclasses.dataclass
+class EvolutionRow:
+    """One exception class across the three study points."""
+
+    exception: str
+    android_2012: float
+    android_711: float
+    wear_20: float
+
+    @property
+    def trend_2012_to_wear(self) -> str:
+        delta = self.wear_20 - self.android_2012
+        if abs(delta) < 0.02:
+            return "flat"
+        return "grew" if delta > 0 else "shrank"
+
+
+def evolution_table(
+    wear: StudyCollector,
+    phone: StudyCollector,
+    baseline: Optional[Mapping[str, float]] = None,
+    classes: Sequence[str] = TRACKED_CLASSES,
+) -> List[EvolutionRow]:
+    """The longitudinal comparison over *classes*."""
+    if baseline is None:
+        baseline = JJB_2012_BASELINE
+    wear_shares = crash_share_distribution(wear)
+    phone_shares = crash_share_distribution(phone)
+    return [
+        EvolutionRow(
+            exception=cls,
+            android_2012=baseline.get(cls, 0.0),
+            android_711=phone_shares.get(cls, 0.0),
+            wear_20=wear_shares.get(cls, 0.0),
+        )
+        for cls in classes
+    ]
+
+
+@dataclasses.dataclass
+class ComparisonVerdict:
+    """The paper's three longitudinal claims, checked against data."""
+
+    npe_shrank_since_2012: bool
+    ise_grew_on_wear: bool
+    cnfe_phone_heavy: bool
+
+    def all_hold(self) -> bool:
+        return self.npe_shrank_since_2012 and self.ise_grew_on_wear and self.cnfe_phone_heavy
+
+
+def verdict(
+    wear: StudyCollector,
+    phone: StudyCollector,
+    baseline: Optional[Mapping[str, float]] = None,
+) -> ComparisonVerdict:
+    """Check the conclusion's claims against two folded studies."""
+    rows = {row.exception: row for row in evolution_table(wear, phone, baseline)}
+    npe = rows["java.lang.NullPointerException"]
+    ise = rows["java.lang.IllegalStateException"]
+    cnfe = rows["java.lang.ClassNotFoundException"]
+    return ComparisonVerdict(
+        npe_shrank_since_2012=npe.wear_20 < npe.android_2012,
+        ise_grew_on_wear=ise.wear_20 > ise.android_2012,
+        cnfe_phone_heavy=cnfe.android_711 > cnfe.wear_20,
+    )
+
+
+def render_evolution(rows: Sequence[EvolutionRow]) -> str:
+    """The longitudinal table, DSN-2012 → Android 7.1.1 → Wear 2.0."""
+    lines = [
+        "CRASH-CAUSE EVOLUTION: ANDROID 2012 -> ANDROID 7.1.1 -> WEAR 2.0",
+        "-" * 78,
+        f"{'Exception':<32} {'2012':>8} {'7.1.1':>8} {'Wear':>8}   trend since 2012",
+    ]
+    for row in rows:
+        short = row.exception.rsplit(".", 1)[-1]
+        lines.append(
+            f"{short:<32} {row.android_2012:>8.1%} {row.android_711:>8.1%} "
+            f"{row.wear_20:>8.1%}   {row.trend_2012_to_wear}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""ASCII rendering of the reproduced tables and figures.
+
+The benchmark harness prints these so a run of ``pytest benchmarks/``
+regenerates, row for row, what the paper reports.  Renderers are pure
+string builders over the data dicts from :mod:`repro.analysis.tables` and
+:mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.analysis.figures import NO_EXCEPTION
+from repro.analysis.manifest import Manifestation, StudyCollector
+
+
+def _shorten(exception_class: str) -> str:
+    """``java.lang.NullPointerException`` → ``NullPointerException``."""
+    return exception_class.rsplit(".", 1)[-1]
+
+
+def render_table1(rows: Sequence[Dict]) -> str:
+    lines = ["TABLE I: FUZZ INTENT CAMPAIGNS", "-" * 78]
+    for row in rows:
+        lines.append(f"{row['campaign'].value}: {row['title']}")
+        lines.append(f"   volume: {row['formula']}  ({row['intents_per_component']} intents/component)")
+        if "intents_sent" in row:
+            lines.append(f"   measured this run: {row['intents_sent']} intents")
+        lines.append(f"   example: {row['example']}")
+    return "\n".join(lines)
+
+
+def render_table2(rows: Sequence[Dict]) -> str:
+    lines = [
+        "TABLE II: APPLICATION STATS",
+        "-" * 78,
+        f"{'Category':<22} {'Classification':<14} {'#':>4} {'#Activities':>12} {'#Services':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['category']:<22} {row['classification']:<14} {row['apps']:>4} "
+            f"{row['activities']:>12} {row['services']:>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(data: Mapping[str, Mapping[str, Mapping[str, float]]]) -> str:
+    campaigns = sorted(data)
+    manifestations = [m.label for m in reversed(Manifestation)]  # Reboot first
+    lines = ["TABLE III: DISTRIBUTION OF BEHAVIORS AMONG FUZZ INTENT CAMPAIGNS", "-" * 98]
+    header = f"{'Campaign':<10}"
+    for manifestation in manifestations:
+        header += f" | {manifestation + ' H/NH':>20}"
+    lines.append(header)
+    for campaign in campaigns:
+        row = f"{campaign:<10}"
+        for manifestation in manifestations:
+            cell = data[campaign][manifestation]
+            health = cell.get("Health/Fitness", 0.0)
+            other = cell.get("Not Health/Fitness", 0.0)
+            row += f" | {health:>8.0%} /{other:>8.0%} "
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_table4(rows: Sequence[Dict]) -> str:
+    lines = [
+        "TABLE IV: DISTRIBUTION OF CRASHES ON ANDROID PHONE PER EXCEPTION TYPE",
+        "-" * 78,
+        f"{'Exception':<50} {'#Crashes':>9} {'%':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['exception']:<50} {row['crashes']:>9} {row['share']:>7.1%}"
+        )
+    total = sum(row["crashes"] for row in rows)
+    lines.append(f"{'Total':<50} {total:>9}")
+    return "\n".join(lines)
+
+
+def render_table5(rows: Sequence[Dict]) -> str:
+    lines = [
+        "TABLE V: DISTRIBUTION OF EXCEPTIONS AND CRASHES DURING QGJ-UI EXPERIMENTS",
+        "-" * 78,
+        f"{'Experiment':<12} {'#Injected Events':>17} {'Exceptions Raised':>22} {'Crashes':>18}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['experiment']:<12} {row['injected_events']:>17} "
+            f"{row['exceptions_raised']:>13} ({row['exception_rate']:>5.1%}) "
+            f"{row['crashes']:>9} ({row['crash_rate']:.2%})"
+        )
+    return "\n".join(lines)
+
+
+def _render_bar(shares: Mapping[str, float], width: int = 40) -> List[str]:
+    lines = []
+    for cls, share in sorted(shares.items(), key=lambda item: (-item[1], item[0])):
+        bar = "#" * max(1, int(share * width)) if share > 0 else ""
+        lines.append(f"    {_shorten(cls):<36} {share:>6.1%} {bar}")
+    return lines
+
+
+def render_fig2(data: Mapping[str, object]) -> str:
+    lines = [
+        "FIG. 2: DISTRIBUTION OF UNCAUGHT EXCEPTION TYPES "
+        "(SecurityException excluded)",
+        "-" * 78,
+        f"SecurityException share of all exceptions: {data['security_share']:.1%}",
+    ]
+    by_kind: Mapping[str, Mapping[str, int]] = data["by_kind"]  # type: ignore[assignment]
+    for kind in sorted(by_kind):
+        counts = by_kind[kind]
+        total = sum(counts.values())
+        lines.append(f"  {kind.title()}s ({total} component-exception pairs):")
+        shares = {cls: count / total for cls, count in counts.items()} if total else {}
+        lines.extend(_render_bar(shares))
+    return "\n".join(lines)
+
+
+def render_fig3a(data: Mapping[str, object]) -> str:
+    lines = [
+        "FIG. 3a: DISTRIBUTION OF ERROR MANIFESTATIONS AMONG COMPONENTS",
+        "-" * 78,
+        f"components targeted: {data['total_components']}",
+    ]
+    counts: Mapping[str, int] = data["counts"]  # type: ignore[assignment]
+    shares: Mapping[str, float] = data["shares"]  # type: ignore[assignment]
+    for label in ("No Effect", "Hang", "Crash", "Reboot"):
+        lines.append(f"  {label:<12} {counts[label]:>5}  ({shares[label]:.1%})")
+    return "\n".join(lines)
+
+
+def render_fig3b(
+    data: Mapping[str, Mapping[str, float]], base_counts: Mapping[str, int]
+) -> str:
+    lines = [
+        "FIG. 3b: DISTRIBUTION OF EXCEPTIONS BY MANIFESTATION",
+        "-" * 78,
+    ]
+    for label in ("No Effect", "Hang", "Crash", "Reboot"):
+        shares = data.get(label, {})
+        lines.append(f"  {label} (n={base_counts.get(label, 0)} components):")
+        if not shares:
+            lines.append("    (none)")
+            continue
+        display = {
+            (cls if cls == NO_EXCEPTION else cls): share for cls, share in shares.items()
+        }
+        lines.extend(_render_bar(display))
+    return "\n".join(lines)
+
+
+def render_fig4(data: Mapping[str, object]) -> str:
+    lines = [
+        "FIG. 4: EXCEPTIONS CAUSING CRASHES, BY APP CLASSIFICATION",
+        "-" * 78,
+    ]
+    rates: Mapping[str, float] = data["app_crash_rate"]  # type: ignore[assignment]
+    totals: Mapping[str, int] = data["apps_total"]  # type: ignore[assignment]
+    crashed: Mapping[str, Sequence[str]] = data["apps_crashed"]  # type: ignore[assignment]
+    for origin in ("Built-in", "Third Party"):
+        lines.append(
+            f"  {origin}: {len(crashed[origin])}/{totals[origin]} apps crashed "
+            f"({rates[origin]:.0%})"
+        )
+    shares: Mapping[str, Mapping[str, float]] = data["class_shares"]  # type: ignore[assignment]
+    for origin in ("Built-in", "Third Party"):
+        lines.append(f"  {origin} crash causes (share of all crash components):")
+        lines.extend(_render_bar(shares[origin]))
+    return "\n".join(lines)
+
+
+def render_reboot_postmortems(collector: StudyCollector) -> str:
+    """The Section IV-B style reboot post-mortems."""
+    if not collector.reboots:
+        return "No device reboots observed."
+    lines = ["DEVICE REBOOT POST-MORTEMS", "-" * 78]
+    for i, post_mortem in enumerate(collector.reboots, start=1):
+        lines.append(f"Reboot #{i} (campaign {post_mortem.campaign}, app {post_mortem.package})")
+        lines.append(f"  reason: {post_mortem.reason}")
+        lines.append(f"  native signal: {post_mortem.native_signal or '(none)'}")
+        lines.append(
+            "  implicated components: "
+            + (", ".join(post_mortem.involved_components) or "(none)")
+        )
+        lines.append(
+            "  culprit exception classes: "
+            + (", ".join(_shorten(c) for c in post_mortem.culprit_classes) or "(none)")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Root-cause attribution rules.
+
+The paper describes "a simplified and semi-automatic root cause analysis":
+
+* within one crash, "the first exception in a chain of exceptions is
+  assigned the guilt (e.g. in the case of RuntimeExceptions)" -- for a
+  ``Caused by:`` chain that is the *innermost* (original) throwable, the one
+  thrown first;
+* an ANR is attributed to the exception the app logged just before its
+  handler blocked (the temporal chain);
+* "in some cases, a tight-knit pattern among the exceptions is deduced and
+  one cannot be inferred to causally precede the others.  In such cases, we
+  assign the blame for that error manifestation equally among the exception
+  classes" -- which is how reboots, with their multi-component escalation
+  windows, are scored.
+
+These rules are pure functions over the parsed event stream, so they can be
+property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.logparse import (
+    AnrEvent,
+    FatalExceptionEvent,
+    HandledExceptionEvent,
+    LogEvent,
+    RebootEvent,
+)
+
+#: How far back from a reboot marker the escalation window reaches.  It must
+#: cover the ANR-to-SIGABRT path (the blocked handler stalls the process for
+#: several seconds before the watchdog acts).
+REBOOT_WINDOW_MS = 15_000.0
+
+#: How far back from an ANR we look for the precipitating logged exception.
+ANR_ATTRIBUTION_WINDOW_MS = 2_000.0
+
+_FRAMEWORK_PREFIXES = ("android.", "java.", "com.android.internal.", "dalvik.")
+
+
+def guilty_class(event: FatalExceptionEvent) -> str:
+    """The exception class guilt is assigned to for one crash.
+
+    The innermost cause is the throwable that was raised first; wrappers
+    like the framework's ``RuntimeException: Unable to start activity …``
+    merely re-throw it.
+    """
+    return event.exception_chain[-1]
+
+
+def app_frame(frames: Sequence[str]) -> Optional[str]:
+    """The first non-framework class in a stack, for component attribution."""
+    for cls in frames:
+        if not cls.startswith(_FRAMEWORK_PREFIXES):
+            return cls
+    return None
+
+
+def attribute_anr(
+    anr: AnrEvent, events: Iterable[LogEvent]
+) -> Optional[str]:
+    """The exception class that precipitated *anr*, if one was logged.
+
+    Scans handled-exception events in the attribution window before the ANR
+    timestamp; the latest one wins (closest temporal antecedent).  Returns
+    ``None`` for silent hangs.
+    """
+    best: Optional[HandledExceptionEvent] = None
+    for event in events:
+        if not isinstance(event, HandledExceptionEvent):
+            continue
+        if event.time_ms > anr.time_ms:
+            continue
+        if anr.time_ms - event.time_ms > ANR_ATTRIBUTION_WINDOW_MS:
+            continue
+        if best is None or event.time_ms >= best.time_ms:
+            best = event
+    return best.exception_class if best else None
+
+
+def reboot_window_events(
+    reboot: RebootEvent, events: Iterable[LogEvent]
+) -> List[LogEvent]:
+    """Every event inside the escalation window before *reboot*."""
+    return [
+        event
+        for event in events
+        if not isinstance(event, RebootEvent)
+        and 0 <= reboot.time_ms - getattr(event, "time_ms", reboot.time_ms + 1)
+        <= REBOOT_WINDOW_MS
+    ]
+
+
+def reboot_culprit_classes(window: Iterable[LogEvent]) -> List[str]:
+    """Distinct exception classes implicated in a reboot window.
+
+    Every class in every cause chain counts -- the escalation is a
+    tight-knit pattern, so no single class can be singled out.
+    """
+    classes: List[str] = []
+    for event in window:
+        if isinstance(event, FatalExceptionEvent):
+            for cls in event.exception_chain:
+                if cls not in classes:
+                    classes.append(cls)
+        elif isinstance(event, HandledExceptionEvent):
+            if event.exception_class not in classes:
+                classes.append(event.exception_class)
+    return classes
+
+
+def equal_blame(classes: Sequence[str]) -> Dict[str, float]:
+    """Split one unit of blame equally across *classes* (empty → {})."""
+    if not classes:
+        return {}
+    share = 1.0 / len(classes)
+    return {cls: share for cls in classes}

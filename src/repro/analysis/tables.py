@@ -1,0 +1,137 @@
+"""Data builders for the paper's tables (I-V)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.manifest import Manifestation, StudyCollector
+from repro.android.package_manager import AppCategory, PackageInfo
+from repro.qgj.campaigns import Campaign, table1_rows
+from repro.qgj.results import FuzzSummary
+from repro.qgj.ui_fuzzer import UiInjectionResult
+
+#: Table IV folds exception classes with fewer than this many crashes into
+#: an "Others" row.
+OTHERS_THRESHOLD = 5
+
+
+def table1_campaigns(summary: Optional[FuzzSummary] = None, stride: int = 1) -> List[Dict]:
+    """Table I: the campaign definitions, plus measured volumes if given."""
+    rows = table1_rows(stride)
+    if summary is not None:
+        sent: Counter = Counter()
+        for app in summary.apps:
+            sent[app.campaign] += app.sent
+        for row in rows:
+            row["intents_sent"] = sent.get(row["campaign"], 0)
+    return rows
+
+
+def table2_population(packages: Sequence[PackageInfo]) -> List[Dict]:
+    """Table II: application stats per (category, origin) cell."""
+    cells: Dict[tuple, Dict[str, int]] = {}
+    for package in packages:
+        key = (package.category.value, package.origin.value)
+        cell = cells.setdefault(key, {"apps": 0, "activities": 0, "services": 0})
+        cell["apps"] += 1
+        cell["activities"] += len(package.activities())
+        cell["services"] += len(package.services())
+    rows = [
+        {
+            "category": category,
+            "classification": origin,
+            **counts,
+        }
+        for (category, origin), counts in sorted(cells.items())
+    ]
+    totals = {
+        "category": "Total",
+        "classification": "",
+        "apps": sum(r["apps"] for r in rows),
+        "activities": sum(r["activities"] for r in rows),
+        "services": sum(r["services"] for r in rows),
+    }
+    rows.append(totals)
+    return rows
+
+
+def table3_behaviors(collector: StudyCollector) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Table III: per-campaign behaviour distribution, Health vs Not-Health.
+
+    Structure: ``{campaign: {manifestation: {category: share}}}`` where the
+    share is the fraction of that category's apps whose most severe
+    manifestation under that campaign was the given one.
+    """
+    categories = {
+        AppCategory.HEALTH_FITNESS.value: set(),
+        AppCategory.OTHER.value: set(),
+    }
+    for (package, _campaign) in collector.app_campaign:
+        meta = collector.package_meta(package)
+        if meta is not None:
+            categories[meta.category.value].add(package)
+
+    result: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for campaign in Campaign:
+        per_manifestation: Dict[str, Dict[str, float]] = {
+            m.label: {} for m in Manifestation
+        }
+        for category, members in categories.items():
+            total = len(members)
+            tally: Counter = Counter()
+            for package in members:
+                severity = collector.app_campaign.get(
+                    (package, campaign.value), Manifestation.NO_EFFECT
+                )
+                tally[severity] += 1
+            for manifestation in Manifestation:
+                share = tally.get(manifestation, 0) / total if total else 0.0
+                per_manifestation[manifestation.label][category] = share
+        result[campaign.value] = per_manifestation
+    return result
+
+
+def table4_phone_crashes(collector: StudyCollector) -> List[Dict]:
+    """Table IV: phone crash distribution per exception type.
+
+    Each (component, exception class) pair counts once, the same
+    per-component de-duplication the paper applies ("each exception is
+    counted once per component, even if it was raised several times");
+    classes below :data:`OTHERS_THRESHOLD` fold into "Others".
+    """
+    per_class: Counter = Counter()
+    for record in collector.component_records():
+        for cls in record.fatal_root_classes:
+            per_class[cls] += 1
+    total = sum(per_class.values())
+    rows: List[Dict] = []
+    others = 0
+    for cls, count in per_class.most_common():
+        if count < OTHERS_THRESHOLD:
+            others += count
+            continue
+        rows.append({"exception": cls, "crashes": count, "share": count / total if total else 0.0})
+    if others:
+        rows.append({"exception": "Others", "crashes": others, "share": others / total if total else 0.0})
+    return rows
+
+
+def table5_ui(results: Dict[str, UiInjectionResult]) -> List[Dict]:
+    """Table V: the QGJ-UI experiment's per-mode summary."""
+    rows = []
+    for mode in ("semi-valid", "random"):
+        result = results.get(mode)
+        if result is None:
+            continue
+        rows.append(
+            {
+                "experiment": result.mode,
+                "injected_events": result.injected_events,
+                "exceptions_raised": result.exceptions_raised,
+                "exception_rate": result.exception_rate(),
+                "crashes": result.crashes,
+                "crash_rate": result.crash_rate(),
+            }
+        )
+    return rows

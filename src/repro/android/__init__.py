@@ -1,0 +1,72 @@
+"""The simulated Android OS substrate.
+
+Everything the DSN'18 wearable-reliability study assumes about the platform
+lives here: intents and their resolution rules, the component lifecycle, the
+permission model, processes with crash/ANR semantics, the sensor stack, the
+system server's aging/reboot model, logcat, and the adb endpoint.
+"""
+
+from repro.android.activity_manager import ActivityManager, DispatchResult
+from repro.android.adb import Adb, ShellResult
+from repro.android.clock import Clock
+from repro.android.component import (
+    Activity,
+    ActivityState,
+    BroadcastReceiver,
+    Component,
+    ComponentInfo,
+    ComponentKind,
+    Service,
+    ServiceState,
+)
+from repro.android.context import Context
+from repro.android.device import Device
+from repro.android.intent import ComponentName, Intent, IntentFilter
+from repro.android.log import Level, Logcat
+from repro.android.package_manager import (
+    AppCategory,
+    AppOrigin,
+    PackageInfo,
+    PackageManager,
+)
+from repro.android.permissions import PermissionManager
+from repro.android.process import ProcessRecord, ProcessState, ProcessTable
+from repro.android.sensor import SensorManager, SensorService
+from repro.android.system_server import AgingModel, SystemServer
+from repro.android.uri import Uri
+
+__all__ = [
+    "ActivityManager",
+    "Adb",
+    "AgingModel",
+    "Activity",
+    "ActivityState",
+    "AppCategory",
+    "AppOrigin",
+    "BroadcastReceiver",
+    "Clock",
+    "Component",
+    "ComponentInfo",
+    "ComponentKind",
+    "ComponentName",
+    "Context",
+    "Device",
+    "DispatchResult",
+    "Intent",
+    "IntentFilter",
+    "Level",
+    "Logcat",
+    "PackageInfo",
+    "PackageManager",
+    "PermissionManager",
+    "ProcessRecord",
+    "ProcessState",
+    "ProcessTable",
+    "SensorManager",
+    "SensorService",
+    "Service",
+    "ServiceState",
+    "ShellResult",
+    "SystemServer",
+    "Uri",
+]

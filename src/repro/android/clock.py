@@ -1,0 +1,111 @@
+"""Simulated time for the whole device.
+
+The paper's experiment is paced in real time -- 100 ms between successive
+intents and an extra 250 ms every 100 intents, with 5 s ANR timeouts for
+broadcast-style work and watchdog windows for the system server.  Replaying
+1.5M injections at that pace would take ~2 days of wall clock, so the
+simulator runs on a virtual monotonic clock: sleeping advances the clock
+instantly, while every relative relationship (pacing vs. ANR timeout vs.
+aging decay window) is preserved.
+
+The clock also provides a tiny deadline scheduler used by the ANR watchdog
+and the system server's health checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+
+@dataclasses.dataclass(order=True)
+class _ScheduledCall:
+    deadline_ms: float
+    seq: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+
+class Clock:
+    """A virtual monotonic millisecond clock with deadline callbacks."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now_ms = float(start_ms)
+        self._queue: List[_ScheduledCall] = []
+        self._seq = itertools.count()
+
+    # -- time ------------------------------------------------------------------
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds since boot."""
+        return self._now_ms
+
+    def uptime_millis(self) -> int:
+        """Android's ``SystemClock.uptimeMillis()`` analogue."""
+        return int(self._now_ms)
+
+    def sleep(self, duration_ms: float) -> None:
+        """Advance time by *duration_ms*, firing any due callbacks in order."""
+        if duration_ms < 0:
+            raise ValueError(f"cannot sleep a negative duration: {duration_ms}")
+        self.advance_to(self._now_ms + duration_ms)
+
+    def advance_to(self, deadline_ms: float) -> None:
+        """Advance time to *deadline_ms* (no-op if already past)."""
+        if deadline_ms < self._now_ms:
+            return
+        while self._queue and self._queue[0].deadline_ms <= deadline_ms:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            # Jump to the callback's own deadline before running it so the
+            # callback observes a consistent "now".
+            self._now_ms = max(self._now_ms, call.deadline_ms)
+            call.callback()
+        self._now_ms = max(self._now_ms, deadline_ms)
+
+    # -- scheduling --------------------------------------------------------------
+    def call_at(self, deadline_ms: float, callback: Callable[[], None]) -> "ScheduledHandle":
+        """Run *callback* when time reaches *deadline_ms*."""
+        call = _ScheduledCall(deadline_ms=deadline_ms, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, call)
+        return ScheduledHandle(call)
+
+    def call_after(self, delay_ms: float, callback: Callable[[], None]) -> "ScheduledHandle":
+        """Run *callback* after *delay_ms* of virtual time."""
+        if delay_ms < 0:
+            raise ValueError(f"negative delay: {delay_ms}")
+        return self.call_at(self._now_ms + delay_ms, callback)
+
+    def pending_count(self) -> int:
+        return sum(1 for call in self._queue if not call.cancelled)
+
+    def drain(self, horizon_ms: Optional[float] = None) -> None:
+        """Run all pending callbacks up to *horizon_ms* (default: all)."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if horizon_ms is not None and head.deadline_ms > horizon_ms:
+                break
+            self.advance_to(head.deadline_ms)
+
+
+class ScheduledHandle:
+    """Cancellation handle returned by :meth:`Clock.call_at`."""
+
+    def __init__(self, call: _ScheduledCall) -> None:
+        self._call = call
+
+    def cancel(self) -> None:
+        self._call.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._call.cancelled
+
+    @property
+    def deadline_ms(self) -> float:
+        return self._call.deadline_ms

@@ -1,0 +1,276 @@
+"""Application components: activities, services, receivers.
+
+The study fuzzes two component kinds -- *Activities* (UI entry points) and
+*Services* (background workers) -- because together they make up the large
+majority of Android Wear app components.  This module models:
+
+* the manifest-level description of a component (:class:`ComponentInfo`):
+  exported or not, guarded by which permission, matching which intent
+  filters, running in which process;
+* the runtime base classes with their lifecycle state machines.  Lifecycle
+  misuse raises ``IllegalStateException`` exactly like the framework does --
+  one of the headline exception classes in the paper's results;
+* a single overridable hook, :meth:`Component.on_handle_intent`, where app
+  behaviour models plug in their input validation (or lack of it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.android.intent import ComponentName, Intent, IntentFilter
+from repro.android.jtypes import IllegalStateException, Throwable, frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.context import Context
+
+
+class ComponentKind(enum.Enum):
+    ACTIVITY = "activity"
+    SERVICE = "service"
+    RECEIVER = "receiver"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass
+class ComponentInfo:
+    """Manifest entry for one component."""
+
+    name: ComponentName
+    kind: ComponentKind
+    exported: bool = True
+    permission: Optional[str] = None
+    intent_filters: List[IntentFilter] = dataclasses.field(default_factory=list)
+    process_name: Optional[str] = None
+    #: Key into the behaviour-model registry; ``None`` means framework default.
+    behavior_key: Optional[str] = None
+
+    @property
+    def package(self) -> str:
+        return self.name.package
+
+    def effective_process(self) -> str:
+        return self.process_name or self.package
+
+    def is_launcher(self) -> bool:
+        return any(
+            "android.intent.action.MAIN" in f.actions
+            and "android.intent.category.LAUNCHER" in f.categories
+            for f in self.intent_filters
+        )
+
+
+class ActivityState(enum.Enum):
+    INITIALIZED = "initialized"
+    CREATED = "created"
+    STARTED = "started"
+    RESUMED = "resumed"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+
+
+class ServiceState(enum.Enum):
+    INITIALIZED = "initialized"
+    CREATED = "created"
+    STARTED = "started"
+    DESTROYED = "destroyed"
+
+
+class Component:
+    """Base runtime component.
+
+    Subclasses provide behaviour by overriding :meth:`on_handle_intent`; the
+    default implementation accepts everything silently (a perfectly robust
+    component).  The hook returns the virtual handler cost in milliseconds,
+    letting behaviour models express blocking handlers (ANRs).
+    """
+
+    def __init__(self, info: ComponentInfo, context: "Context") -> None:
+        self.info = info
+        self.context = context
+
+    @property
+    def component_name(self) -> ComponentName:
+        return self.info.name
+
+    def on_handle_intent(self, intent: Intent, phase: str) -> float:
+        """Inspect *intent* during lifecycle *phase*.
+
+        Returns the handler's virtual duration in ms.  Raise a
+        :class:`~repro.android.jtypes.Throwable` to model a defect.
+        """
+        return 1.0
+
+    def on_ui_event(self, kind: str, **params: object) -> float:
+        """Handle a user-interface event (tap, key, swipe, …).
+
+        UI event handlers proved far more robust than intent handlers in the
+        study (0.05% crash rate); behaviour models override this to inject
+        the few defects that remain.  Returns the handler cost in ms.
+        """
+        return 0.5
+
+    def _throw_site(self, method: str, line: int) -> list:
+        return [frame(self.info.name.class_name, method, line)]
+
+    def illegal_state(self, method: str, detail: str) -> Throwable:
+        exc = IllegalStateException(detail)
+        exc.frames = self._throw_site(method, 71)
+        return exc
+
+
+class Activity(Component):
+    """An activity with the framework's lifecycle state machine."""
+
+    def __init__(self, info: ComponentInfo, context: "Context") -> None:
+        super().__init__(info, context)
+        self.state = ActivityState.INITIALIZED
+        self.intent: Optional[Intent] = None
+        self.handler_cost_ms = 0.0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def perform_create(self, intent: Intent) -> None:
+        if self.state != ActivityState.INITIALIZED:
+            raise self.illegal_state(
+                "performCreate", f"Activity already created (state={self.state.value})"
+            )
+        self.intent = intent
+        self.handler_cost_ms += self.on_create(intent)
+        self.state = ActivityState.CREATED
+
+    def perform_start(self) -> None:
+        if self.state not in (ActivityState.CREATED, ActivityState.STOPPED):
+            raise self.illegal_state(
+                "performStart", f"Cannot start activity in state {self.state.value}"
+            )
+        self.handler_cost_ms += self.on_start()
+        self.state = ActivityState.STARTED
+
+    def perform_resume(self) -> None:
+        if self.state not in (ActivityState.STARTED, ActivityState.PAUSED):
+            raise self.illegal_state(
+                "performResume", f"Cannot resume activity in state {self.state.value}"
+            )
+        self.handler_cost_ms += self.on_resume()
+        self.state = ActivityState.RESUMED
+
+    def perform_new_intent(self, intent: Intent) -> None:
+        if self.state == ActivityState.DESTROYED:
+            raise self.illegal_state("performNewIntent", "Activity is destroyed")
+        self.intent = intent
+        self.handler_cost_ms += self.on_new_intent(intent)
+
+    def perform_pause(self) -> None:
+        if self.state != ActivityState.RESUMED:
+            raise self.illegal_state(
+                "performPause", f"Cannot pause activity in state {self.state.value}"
+            )
+        self.state = ActivityState.PAUSED
+
+    def perform_stop(self) -> None:
+        if self.state not in (ActivityState.PAUSED, ActivityState.STARTED):
+            raise self.illegal_state(
+                "performStop", f"Cannot stop activity in state {self.state.value}"
+            )
+        self.state = ActivityState.STOPPED
+
+    def perform_destroy(self) -> None:
+        self.state = ActivityState.DESTROYED
+
+    # -- overridable callbacks ----------------------------------------------------
+    def on_create(self, intent: Intent) -> float:
+        return self.on_handle_intent(intent, "onCreate")
+
+    def on_start(self) -> float:
+        return 0.5
+
+    def on_resume(self) -> float:
+        return 0.5
+
+    def on_new_intent(self, intent: Intent) -> float:
+        return self.on_handle_intent(intent, "onNewIntent")
+
+
+class Service(Component):
+    """A started/bound service with the framework's lifecycle."""
+
+    def __init__(self, info: ComponentInfo, context: "Context") -> None:
+        super().__init__(info, context)
+        self.state = ServiceState.INITIALIZED
+        self.start_count = 0
+        self.bound_clients = 0
+        self.handler_cost_ms = 0.0
+
+    def perform_create(self) -> None:
+        if self.state != ServiceState.INITIALIZED:
+            raise self.illegal_state(
+                "performCreate", f"Service already created (state={self.state.value})"
+            )
+        self.handler_cost_ms += self.on_create()
+        self.state = ServiceState.CREATED
+
+    def perform_start_command(self, intent: Optional[Intent], start_id: int) -> None:
+        if self.state == ServiceState.DESTROYED:
+            raise self.illegal_state("performStartCommand", "Service is destroyed")
+        if self.state == ServiceState.INITIALIZED:
+            raise self.illegal_state("performStartCommand", "Service not created yet")
+        self.start_count += 1
+        self.handler_cost_ms += self.on_start_command(intent, start_id)
+        self.state = ServiceState.STARTED
+
+    def perform_bind(self, intent: Intent) -> None:
+        if self.state == ServiceState.DESTROYED:
+            raise self.illegal_state("performBind", "Service is destroyed")
+        self.bound_clients += 1
+        self.handler_cost_ms += self.on_bind(intent)
+
+    def perform_unbind(self) -> None:
+        if self.bound_clients <= 0:
+            raise self.illegal_state("performUnbind", "Service has no bound clients")
+        self.bound_clients -= 1
+
+    def perform_destroy(self) -> None:
+        self.state = ServiceState.DESTROYED
+
+    # -- overridable callbacks ----------------------------------------------------
+    def on_create(self) -> float:
+        return 0.5
+
+    def on_start_command(self, intent: Optional[Intent], start_id: int) -> float:
+        if intent is None:
+            return 0.5
+        return self.on_handle_intent(intent, "onStartCommand")
+
+    def on_bind(self, intent: Intent) -> float:
+        return self.on_handle_intent(intent, "onBind")
+
+
+class BroadcastReceiver(Component):
+    """A broadcast receiver (modelled minimally; QGJ targets the other two)."""
+
+    def perform_receive(self, intent: Intent) -> float:
+        return self.on_handle_intent(intent, "onReceive")
+
+
+def runtime_class_for(kind: ComponentKind) -> type:
+    """The runtime base class used when a component has no custom class."""
+    if kind == ComponentKind.ACTIVITY:
+        return Activity
+    if kind == ComponentKind.SERVICE:
+        return Service
+    return BroadcastReceiver
+
+
+def describe_components(infos: Sequence[ComponentInfo]) -> str:
+    """Human-readable inventory, used by QGJ Mobile's UI."""
+    lines = []
+    for info in infos:
+        guard = f" permission={info.permission}" if info.permission else ""
+        exported = "exported" if info.exported else "not-exported"
+        lines.append(f"{info.kind.value:8s} {info.name.flatten_to_short_string()} [{exported}]{guard}")
+    return "\n".join(lines)

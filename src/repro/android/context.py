@@ -1,0 +1,86 @@
+"""Per-application ``Context``.
+
+Every component runs with a context that scopes framework calls to its own
+package: starting other components, looking up system services, checking
+permissions, and writing to the log.  The behaviour models in
+:mod:`repro.apps` use it to reach the sensor manager, the Google Fit
+service, and the Wear APIs -- the dependency edges along which the paper
+observed error propagation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.android.intent import ComponentName, Intent
+from repro.android.log import Logcat
+from repro.android.permissions import PERMISSION_GRANTED
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.android.activity_manager import ActivityManager
+    from repro.android.device import Device
+
+
+class Context:
+    """An app-scoped view of the device."""
+
+    def __init__(self, package: str, device: "Device") -> None:
+        self.package = package
+        self._device = device
+
+    # -- framework entry points ---------------------------------------------------
+    @property
+    def activity_manager(self) -> "ActivityManager":
+        return self._device.activity_manager
+
+    @property
+    def logcat(self) -> Logcat:
+        return self._device.logcat
+
+    def start_activity(self, intent: Intent) -> None:
+        """Start an activity on behalf of this package.
+
+        Raises :class:`~repro.android.jtypes.ActivityNotFoundException` or
+        :class:`~repro.android.jtypes.SecurityException` back to the caller,
+        exactly like ``Context.startActivity``.
+        """
+        self._device.activity_manager.start_activity(self.package, intent)
+
+    def start_service(self, intent: Intent) -> Optional[ComponentName]:
+        return self._device.activity_manager.start_service(self.package, intent)
+
+    def bind_service(self, intent: Intent) -> bool:
+        return self._device.activity_manager.bind_service(self.package, intent)
+
+    def send_broadcast(self, intent: Intent) -> int:
+        return self._device.activity_manager.send_broadcast(self.package, intent)
+
+    def get_system_service(self, name: str) -> Any:
+        """Look up a system service (``sensor``, ``ambient``, ``fit``, …)."""
+        return self._device.get_system_service(name, self.package)
+
+    def check_self_permission(self, permission: str) -> int:
+        return self._device.permissions.check_permission(self.package, permission)
+
+    def has_permission(self, permission: str) -> bool:
+        return self.check_self_permission(permission) == PERMISSION_GRANTED
+
+    # -- logging helpers (Log.i / Log.w from app code) ----------------------------
+    def log_i(self, tag: str, message: str) -> None:
+        pid = self._pid()
+        self._device.logcat.i(tag, message, pid=pid)
+
+    def log_w(self, tag: str, message: str) -> None:
+        pid = self._pid()
+        self._device.logcat.w(tag, message, pid=pid)
+
+    def log_e(self, tag: str, message: str) -> None:
+        pid = self._pid()
+        self._device.logcat.e(tag, message, pid=pid)
+
+    def _pid(self) -> int:
+        proc = self._device.processes.get(self.package)
+        return proc.pid if proc else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Context {self.package}>"

@@ -1,0 +1,121 @@
+"""A bootable simulated Android device.
+
+``Device`` wires every substrate piece together -- clock, logcat, permission
+model, package manager, process table, activity manager, system server and
+sensor stack -- into the thing the experiments hold in one hand: something
+you can install apps on, throw intents at, and pull logs from over
+:mod:`repro.android.adb`.
+
+:class:`repro.wear.device.WearDevice` extends this with the Wear-specific
+services (Ambient, Google Fit, complications, the Wearable MessageAPI).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.android.activity_manager import ActivityManager
+from repro.android.clock import Clock
+from repro.android.log import TAG_BOOT, Logcat
+from repro.android.package_manager import PackageInfo, PackageManager
+from repro.android.permissions import PermissionManager
+from repro.android.process import ProcessTable
+from repro.android.sensor import SensorManager, SensorService
+from repro.android.system_server import SystemServer
+
+#: Virtual time a reboot costs (boot animation and all).
+BOOT_DURATION_MS = 30_000.0
+
+#: Provider signature for named system services; receives the caller package.
+ServiceProvider = Callable[["Device", str], Any]
+
+
+class Device:
+    """One simulated Android device (phone or, via subclass, wearable)."""
+
+    def __init__(
+        self,
+        name: str = "device",
+        android_version: str = "7.1.1",
+        logcat_capacity: Optional[int] = None,
+        reboot_threshold: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.android_version = android_version
+        self.clock = Clock()
+        self.logcat = Logcat(self.clock, capacity=logcat_capacity)
+        self.permissions = PermissionManager()
+        self.packages = PackageManager(self.permissions)
+        self.processes = ProcessTable(self.clock)
+        self.activity_manager = ActivityManager(
+            device=self,
+            packages=self.packages,
+            permissions=self.permissions,
+            processes=self.processes,
+            logcat=self.logcat,
+        )
+        kwargs = {} if reboot_threshold is None else {"reboot_threshold": reboot_threshold}
+        self.system_server = SystemServer(self, self.clock, self.logcat, **kwargs)
+        self.activity_manager.add_health_hooks(self.system_server)
+        self.sensor_service = SensorService(self.processes, self.logcat)
+        self.system_server.attach_sensor_service(self.sensor_service)
+        self._service_providers: Dict[str, ServiceProvider] = {}
+        self.register_system_service(
+            "sensor",
+            lambda device, package: SensorManager(device.sensor_service, package),
+        )
+        self.boot_count = 1
+        #: True only while a reboot is tearing processes down.
+        self.rebooting = False
+        self.logcat.i(TAG_BOOT, f"Starting Android runtime ({android_version}) on {name}")
+        self.logcat.i(TAG_BOOT, "Boot completed")
+
+    # -- system services ----------------------------------------------------------
+    def register_system_service(self, service_name: str, provider: ServiceProvider) -> None:
+        self._service_providers[service_name] = provider
+
+    def get_system_service(self, service_name: str, package: str) -> Any:
+        provider = self._service_providers.get(service_name)
+        if provider is None:
+            return None
+        return provider(self, package)
+
+    def has_system_service(self, service_name: str) -> bool:
+        return service_name in self._service_providers
+
+    # -- app management ------------------------------------------------------------
+    def install(self, package: PackageInfo) -> None:
+        self.packages.install(package)
+        self.logcat.i("PackageManager", f"Package {package.package} installed")
+
+    def install_all(self, packages) -> None:
+        for package in packages:
+            self.install(package)
+
+    # -- reboot ---------------------------------------------------------------------
+    def perform_reboot(self, reason: str) -> None:
+        """Reboot the device (called by the system server's escalation)."""
+        self.rebooting = True
+        self.logcat.reboot_marker(reason)
+        self.processes.clear()
+        self.activity_manager.reset_runtime_state()
+        self.clock.sleep(BOOT_DURATION_MS)
+        self.sensor_service.restart()
+        self.system_server.after_reboot()
+        self.boot_count += 1
+        self._after_reboot()
+        self.rebooting = False
+
+    def _after_reboot(self) -> None:
+        """Subclass hook: restart device-family specific services."""
+
+    # -- adb ------------------------------------------------------------------------
+    @property
+    def adb(self):
+        """Lazy adb endpoint (import-cycle-free)."""
+        from repro.android.adb import Adb
+
+        return Adb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.name} android={self.android_version} boots={self.boot_count}>"

@@ -1,0 +1,192 @@
+"""Package management: installed apps, their manifests, and resolution.
+
+QGJ-Master's first step (① in the paper's Fig. 1a) is *retrieving the list
+of components* -- activities and services -- registered on the wearable.
+That inventory, the explicit-component resolution used for every injection,
+and the launcher lookup used by QGJ-UI all live here.
+
+The package manager also underpins Table II: the study's population of 46
+wear apps (2 built-in + 11 third-party health/fitness, 9 + 24 other) with
+514 activities and 398 services, which :mod:`repro.apps.catalog` installs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional
+
+from repro.android.component import ComponentInfo, ComponentKind
+from repro.android.intent import ComponentName, Intent
+from repro.android.permissions import PermissionManager
+
+
+class AppCategory(enum.Enum):
+    """The paper's primary app categorisation."""
+
+    HEALTH_FITNESS = "Health/Fitness"
+    OTHER = "Not Health/Fitness"
+
+
+class AppOrigin(enum.Enum):
+    """The paper's orthogonal classification."""
+
+    BUILT_IN = "Built-in"
+    THIRD_PARTY = "Third Party"
+
+
+@dataclasses.dataclass
+class PackageInfo:
+    """One installed application package."""
+
+    package: str
+    label: str
+    category: AppCategory
+    origin: AppOrigin
+    version_name: str = "1.0"
+    downloads: int = 0
+    components: List[ComponentInfo] = dataclasses.field(default_factory=list)
+    requested_permissions: List[str] = dataclasses.field(default_factory=list)
+    uses_google_fit: bool = False
+    uses_sensor_manager: bool = False
+    targets_wear2: bool = True
+    #: Vendor-specific extension (e.g. Motorola's); absent on the emulator.
+    vendor: bool = False
+
+    def activities(self) -> List[ComponentInfo]:
+        return [c for c in self.components if c.kind == ComponentKind.ACTIVITY]
+
+    def services(self) -> List[ComponentInfo]:
+        return [c for c in self.components if c.kind == ComponentKind.SERVICE]
+
+    def receivers(self) -> List[ComponentInfo]:
+        return [c for c in self.components if c.kind == ComponentKind.RECEIVER]
+
+    def component(self, class_name: str) -> Optional[ComponentInfo]:
+        for c in self.components:
+            if c.name.class_name == class_name:
+                return c
+        return None
+
+    def launcher_activity(self) -> Optional[ComponentInfo]:
+        for c in self.activities():
+            if c.is_launcher():
+                return c
+        return None
+
+    @property
+    def is_built_in(self) -> bool:
+        return self.origin == AppOrigin.BUILT_IN
+
+
+class PackageManager:
+    """The device's package registry."""
+
+    def __init__(self, permissions: PermissionManager) -> None:
+        self._packages: Dict[str, PackageInfo] = {}
+        self._by_component: Dict[str, ComponentInfo] = {}
+        self.permissions = permissions
+
+    # -- installation ---------------------------------------------------------
+    def install(self, package: PackageInfo, grant_requested: bool = True) -> None:
+        """Install *package*; built-in packages become privileged.
+
+        By default requested (known) permissions are granted, matching the
+        paper's setup step of completing "any initial setup required by the
+        apps" before the campaigns.
+        """
+        if package.package in self._packages:
+            raise ValueError(f"package already installed: {package.package}")
+        seen = set()
+        for comp in package.components:
+            if comp.name.package != package.package:
+                raise ValueError(
+                    f"component {comp.name} does not belong to {package.package}"
+                )
+            flat = comp.name.flatten_to_string()
+            if flat in seen:
+                raise ValueError(f"duplicate component in manifest: {flat}")
+            seen.add(flat)
+        self._packages[package.package] = package
+        for comp in package.components:
+            self._by_component[comp.name.flatten_to_string()] = comp
+        if package.is_built_in:
+            self.permissions.mark_privileged(package.package)
+        if grant_requested:
+            for perm in package.requested_permissions:
+                if self.permissions.is_known(perm):
+                    self.permissions.grant(package.package, perm)
+
+    def uninstall(self, package_name: str) -> None:
+        package = self._packages.pop(package_name, None)
+        if package is None:
+            raise ValueError(f"package not installed: {package_name}")
+        for comp in package.components:
+            self._by_component.pop(comp.name.flatten_to_string(), None)
+
+    # -- queries ---------------------------------------------------------------
+    def is_installed(self, package_name: str) -> bool:
+        return package_name in self._packages
+
+    def get_package(self, package_name: str) -> Optional[PackageInfo]:
+        return self._packages.get(package_name)
+
+    def installed_packages(self) -> List[PackageInfo]:
+        return list(self._packages.values())
+
+    def packages_in_category(self, category: AppCategory) -> List[PackageInfo]:
+        return [p for p in self._packages.values() if p.category == category]
+
+    def packages_with_origin(self, origin: AppOrigin) -> List[PackageInfo]:
+        return [p for p in self._packages.values() if p.origin == origin]
+
+    def resolve_component(self, name: ComponentName) -> Optional[ComponentInfo]:
+        """Explicit resolution: the exact component, or ``None``."""
+        return self._by_component.get(name.flatten_to_string())
+
+    def all_components(
+        self, kinds: Iterable[ComponentKind] = (ComponentKind.ACTIVITY, ComponentKind.SERVICE)
+    ) -> List[ComponentInfo]:
+        wanted = set(kinds)
+        return [c for c in self._by_component.values() if c.kind in wanted]
+
+    def components_of(self, package_name: str, kind: Optional[ComponentKind] = None) -> List[ComponentInfo]:
+        package = self._packages.get(package_name)
+        if package is None:
+            return []
+        if kind is None:
+            return list(package.components)
+        return [c for c in package.components if c.kind == kind]
+
+    def query_intent_activities(self, intent: Intent) -> List[ComponentInfo]:
+        """Implicit resolution against activity intent filters."""
+        matches = []
+        for comp in self._by_component.values():
+            if comp.kind != ComponentKind.ACTIVITY or not comp.exported:
+                continue
+            if any(f.matches(intent) for f in comp.intent_filters):
+                matches.append(comp)
+        return sorted(matches, key=lambda c: c.name.flatten_to_string())
+
+    def launcher_activities(self) -> List[ComponentInfo]:
+        return sorted(
+            (
+                comp
+                for package in self._packages.values()
+                for comp in package.activities()
+                if comp.is_launcher()
+            ),
+            key=lambda c: c.name.flatten_to_string(),
+        )
+
+    # -- stats for Table II -----------------------------------------------------
+    def population_stats(self) -> Dict[str, Dict[str, int]]:
+        """Counts of apps/activities/services per (category, origin) cell."""
+        stats: Dict[str, Dict[str, int]] = {}
+        for package in self._packages.values():
+            key = f"{package.category.value}|{package.origin.value}"
+            cell = stats.setdefault(key, {"apps": 0, "activities": 0, "services": 0})
+            cell["apps"] += 1
+            cell["activities"] += len(package.activities())
+            cell["services"] += len(package.services())
+        return stats

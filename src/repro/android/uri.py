@@ -1,0 +1,193 @@
+"""A small ``android.net.Uri`` work-alike.
+
+Intents carry their data item as a URI (``https://…``, ``tel:123``,
+``content://contacts/1``).  The fuzz campaigns of the paper generate twelve
+different URI *types* (schemes), combine them with actions, and blank or
+randomise them, so the simulator needs a URI model that:
+
+* parses both hierarchical (``scheme://authority/path?query#fragment``) and
+  opaque (``tel:123``, ``mailto:foo@bar``) forms,
+* survives arbitrary garbage (random campaigns feed it random ASCII), and
+* round-trips back to the exact string for logging.
+
+``Uri.parse`` never raises; malformed input yields an *opaque* URI whose
+``scheme`` may be ``None``, mirroring Android's forgiving parser.  Components
+that *require* well-formed URIs perform their own validation and raise
+``IllegalArgumentException`` -- that separation of duties is exactly what the
+study probes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+
+_HIER_MARKER = "://"
+
+
+@dataclasses.dataclass(frozen=True)
+class Uri:
+    """Immutable parsed URI.
+
+    Attributes mirror ``android.net.Uri`` getters: any part that is absent is
+    ``None`` (never the empty string), matching Android semantics.
+    """
+
+    scheme: Optional[str]
+    authority: Optional[str]
+    path: Optional[str]
+    query: Optional[str]
+    fragment: Optional[str]
+    opaque_part: Optional[str]
+    original: str
+
+    # -- parsing ---------------------------------------------------------------
+    @staticmethod
+    def parse(text: str) -> "Uri":
+        """Parse *text*; never raises.
+
+        Hierarchical URIs contain ``://``; everything else is treated as
+        ``scheme:opaque-part`` when a ``:`` is present, or as a bare opaque
+        string otherwise.
+        """
+        if not isinstance(text, str):
+            raise TypeError(f"Uri.parse expects str, got {type(text).__name__}")
+        fragment: Optional[str] = None
+        body = text
+        if "#" in body:
+            body, fragment = body.split("#", 1)
+            fragment = fragment or None
+
+        if _HIER_MARKER in body:
+            scheme, rest = body.split(_HIER_MARKER, 1)
+            query: Optional[str] = None
+            if "?" in rest:
+                rest, query = rest.split("?", 1)
+                query = query or None
+            if "/" in rest:
+                authority, path = rest.split("/", 1)
+                path = "/" + path
+            else:
+                authority, path = rest, None
+            return Uri(
+                scheme=scheme or None,
+                authority=authority or None,
+                path=path,
+                query=query,
+                fragment=fragment,
+                opaque_part=None,
+                original=text,
+            )
+
+        if ":" in body:
+            scheme, opaque = body.split(":", 1)
+            # A scheme must start with a letter and contain only
+            # [A-Za-z0-9+.-]; otherwise the whole thing is opaque garbage.
+            if scheme and scheme[0].isalpha() and all(
+                c.isalnum() or c in "+.-" for c in scheme
+            ):
+                return Uri(
+                    scheme=scheme,
+                    authority=None,
+                    path=None,
+                    query=None,
+                    fragment=fragment,
+                    opaque_part=opaque or None,
+                    original=text,
+                )
+        return Uri(
+            scheme=None,
+            authority=None,
+            path=None,
+            query=None,
+            fragment=fragment,
+            opaque_part=body or None,
+            original=text,
+        )
+
+    # -- accessors ---------------------------------------------------------------
+    def is_hierarchical(self) -> bool:
+        return self.authority is not None or (
+            self.path is not None and self.opaque_part is None
+        )
+
+    def is_opaque(self) -> bool:
+        return not self.is_hierarchical()
+
+    def is_well_formed(self) -> bool:
+        """True when the URI has a scheme and some content after it."""
+        if self.scheme is None:
+            return False
+        return bool(self.authority or self.path or self.opaque_part)
+
+    def query_parameters(self) -> Dict[str, str]:
+        """Decode ``a=1&b=2`` queries; later keys win, bare keys map to ''."""
+        params: Dict[str, str] = {}
+        if not self.query:
+            return params
+        for chunk in self.query.split("&"):
+            if not chunk:
+                continue
+            key, _, value = chunk.partition("=")
+            params[key] = value
+        return params
+
+    def last_path_segment(self) -> Optional[str]:
+        if not self.path:
+            return None
+        segments = [s for s in self.path.split("/") if s]
+        return segments[-1] if segments else None
+
+    def __str__(self) -> str:
+        return self.original
+
+
+def build_hierarchical(
+    scheme: str,
+    authority: str,
+    path: str = "",
+    query: Optional[str] = None,
+    fragment: Optional[str] = None,
+) -> Uri:
+    """Construct a hierarchical URI from parts (the ``Uri.Builder`` analogue)."""
+    text = f"{scheme}://{authority}"
+    if path:
+        if not path.startswith("/"):
+            path = "/" + path
+        text += path
+    if query:
+        text += "?" + query
+    if fragment:
+        text += "#" + fragment
+    return Uri.parse(text)
+
+
+def build_opaque(scheme: str, opaque_part: str) -> Uri:
+    """Construct an opaque URI such as ``tel:5551234``."""
+    return Uri.parse(f"{scheme}:{opaque_part}")
+
+
+def scheme_of(text: Optional[str]) -> Optional[str]:
+    """Convenience: the scheme of *text*, or ``None`` for blank/garbage."""
+    if not text:
+        return None
+    return Uri.parse(text).scheme
+
+
+#: The canonical MIME types components may declare for intent data; used by
+#: intent-filter matching and by campaign D's valid {Action, Data} pairs.
+KNOWN_MIME_TYPES: Tuple[str, ...] = (
+    "text/plain",
+    "text/html",
+    "image/*",
+    "image/png",
+    "image/jpeg",
+    "audio/*",
+    "video/*",
+    "application/pdf",
+    "vnd.android.cursor.item/contact",
+    "vnd.android.cursor.item/event",
+    "vnd.android.cursor.dir/email",
+    "application/vnd.google.fitness.activity",
+)

@@ -1,0 +1,47 @@
+"""The synthetic app corpus standing in for the study's subjects.
+
+Behaviour models (:mod:`repro.apps.behavior`), calibration constants
+(:mod:`repro.apps.profiles`), the hand-modelled named apps
+(:mod:`repro.apps.builtin`, :mod:`repro.apps.health`), and the corpus
+builders (:mod:`repro.apps.catalog`).
+"""
+
+from repro.apps.behavior import (
+    BehaviorRegistry,
+    BehaviorSpec,
+    ModeledActivity,
+    ModeledReceiver,
+    ModeledService,
+    Outcome,
+    Trigger,
+    UiVulnerability,
+    Vulnerability,
+    stable_fraction,
+    trigger_matches,
+)
+from repro.apps.catalog import (
+    Corpus,
+    CorpusApp,
+    build_phone_corpus,
+    build_wear_corpus,
+    emulator_packages,
+)
+
+__all__ = [
+    "BehaviorRegistry",
+    "BehaviorSpec",
+    "Corpus",
+    "CorpusApp",
+    "ModeledActivity",
+    "ModeledReceiver",
+    "ModeledService",
+    "Outcome",
+    "Trigger",
+    "UiVulnerability",
+    "Vulnerability",
+    "build_phone_corpus",
+    "build_wear_corpus",
+    "emulator_packages",
+    "stable_fraction",
+    "trigger_matches",
+]

@@ -1,0 +1,292 @@
+"""Ablation studies over the reproduction's design choices.
+
+The paper makes several empirical choices without sweeping them -- the
+100 ms / 250 ms injection pacing ("empirically determined … to ensure the
+device is not overloaded"), the implicit severity of error accumulation,
+and the claim that reboots need *sequences* of malformed intents.  Because
+this reproduction is a simulator, each choice can be swept:
+
+* :func:`ablate_aging_threshold` -- how fragile is the reboot finding to the
+  system server's damage threshold?
+* :func:`ablate_wedge_deliveries` -- how many silently-absorbed mismatches
+  does reboot #1 actually need (the "no single deadly intent" claim)?
+* :func:`ablate_pacing` -- what happens to the ambient-reboot escalation
+  when injections arrive slower?  (Crash-loop detection needs crashes close
+  together; slow enough pacing lets the device "outrun" the loop window.)
+* :func:`ablate_stride` -- is the Table III shape stable under quick-scale
+  subsampling, i.e. is the quick configuration trustworthy?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.analysis.manifest import Manifestation, StudyCollector
+from repro.apps.builtin import AMBIENT_BINDER_PACKAGE
+from repro.apps.catalog import build_wear_corpus
+from repro.apps.health import HEART_RATE_PACKAGE
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import FuzzConfig, FuzzerLibrary
+from repro.wear.device import WearDevice
+
+_QUICK_STRIDES = {Campaign.A: 12, Campaign.B: 1, Campaign.C: 2, Campaign.D: 1}
+
+
+@dataclasses.dataclass
+class AblationRow:
+    """One configuration point of an ablation sweep."""
+
+    parameter: str
+    value: float
+    reboots: int
+    crashes_seen: int
+    notes: str = ""
+
+
+def _fresh_watch(seed: int = 2018, wedge_deliveries: int = 25, **device_kwargs) -> WearDevice:
+    corpus = build_wear_corpus(seed=seed, wedge_deliveries=wedge_deliveries)
+    watch = WearDevice("ablation-watch", **device_kwargs)
+    corpus.install(watch)
+    return watch
+
+
+def ablate_aging_threshold(
+    thresholds: Sequence[float] = (2.0, 4.0, 8.0, 16.0, 32.0)
+) -> List[AblationRow]:
+    """Sweep the system server's reboot threshold.
+
+    Expected shape: the ambient reboot (campaign D) survives a wide band of
+    thresholds because a crash-looping *built-in* component deposits damage
+    quickly; only an implausibly high threshold suppresses it.  The sensor
+    reboot is threshold-independent (losing a core native service is fatal
+    regardless), so at least one reboot persists everywhere.
+    """
+    rows = []
+    for threshold in thresholds:
+        watch = _fresh_watch(reboot_threshold=threshold)
+        fuzzer = FuzzerLibrary(watch)
+        crashes = 0
+        for package, campaign in (
+            (HEART_RATE_PACKAGE, Campaign.A),
+            (AMBIENT_BINDER_PACKAGE, Campaign.D),
+        ):
+            result = fuzzer.fuzz_app(
+                package, campaign, FuzzConfig(strides=_QUICK_STRIDES)
+            )
+            crashes += result.crashes_seen
+        rows.append(
+            AblationRow(
+                parameter="reboot_threshold",
+                value=threshold,
+                reboots=watch.boot_count - 1,
+                crashes_seen=crashes,
+            )
+        )
+    return rows
+
+
+def ablate_wedge_deliveries(
+    values: Sequence[int] = (1, 5, 25, 60, 200)
+) -> List[AblationRow]:
+    """Sweep how much silent error accumulation reboot #1 requires.
+
+    At 1 the first mismatched intent wedges the handler (a 'deadly intent'
+    world); at values beyond the campaign's per-component volume the state
+    never accumulates and the reboot disappears -- bracketing the paper's
+    observation that the reboot manifests "at specific states".
+    """
+    rows = []
+    for wedge in values:
+        watch = _fresh_watch(wedge_deliveries=wedge)
+        fuzzer = FuzzerLibrary(watch)
+        result = fuzzer.fuzz_app(
+            HEART_RATE_PACKAGE, Campaign.A, FuzzConfig(strides=_QUICK_STRIDES)
+        )
+        notes = "reboot" if result.aborted_by_reboot else "no reboot"
+        rows.append(
+            AblationRow(
+                parameter="wedge_deliveries",
+                value=float(wedge),
+                reboots=watch.boot_count - 1,
+                crashes_seen=result.crashes_seen,
+                notes=notes,
+            )
+        )
+    return rows
+
+
+def ablate_pacing(
+    delays_ms: Sequence[float] = (10.0, 100.0, 1_000.0, 16_000.0)
+) -> List[AblationRow]:
+    """Sweep the inter-intent delay against the ambient crash-loop reboot.
+
+    The system server only treats a component as crash-looping when three
+    crashes land within its 30 s window.  The paper's 100 ms pacing easily
+    satisfies that; beyond ~15 s spacing the third crash slips outside the
+    window, the loop is never detected, and the reboot vanishes -- the
+    pacing choice is not cosmetic.
+    """
+    rows = []
+    for delay in delays_ms:
+        watch = _fresh_watch()
+        fuzzer = FuzzerLibrary(watch)
+        config = FuzzConfig(strides=_QUICK_STRIDES, intent_delay_ms=delay)
+        result = fuzzer.fuzz_app(AMBIENT_BINDER_PACKAGE, Campaign.D, config)
+        rows.append(
+            AblationRow(
+                parameter="intent_delay_ms",
+                value=delay,
+                reboots=watch.boot_count - 1,
+                crashes_seen=result.crashes_seen,
+                notes="loop detected" if result.aborted_by_reboot else "loop outran",
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass
+class StrideStabilityRow:
+    """Table III stability at one subsampling scale."""
+
+    label: str
+    a_stride: int
+    health_crash_apps: Dict[str, int]
+    other_crash_apps: Dict[str, int]
+
+
+def ablate_stride(
+    scales: Sequence[Dict[Campaign, int]] = (
+        {Campaign.A: 12, Campaign.B: 1, Campaign.C: 2, Campaign.D: 1},
+        {Campaign.A: 36, Campaign.B: 1, Campaign.C: 6, Campaign.D: 1},
+    ),
+    packages: Sequence[str] = (
+        "com.runmate.wear",
+        "com.fitband.wear",
+        "com.stepcount.wear",
+        "com.sleepwell.wear",
+        "com.yogaflow.wear",
+    ),
+) -> List[StrideStabilityRow]:
+    """Check that per-campaign crash sets are stable across strides.
+
+    The quick configuration's claim is that subsampling preserves campaign
+    *structure*; this sweep verifies that the set of apps crashing per
+    campaign does not change as campaign A thins further.
+    """
+    rows = []
+    for scale in scales:
+        corpus = build_wear_corpus(seed=2018)
+        watch = WearDevice("stride-watch")
+        corpus.install(watch)
+        collector = StudyCollector(corpus.packages())
+        fuzzer = FuzzerLibrary(watch)
+        adb = watch.adb
+        adb.logcat_clear()
+        for package in packages:
+            for campaign in Campaign:
+                fuzzer.fuzz_app(package, campaign, FuzzConfig(strides=dict(scale)))
+                collector.fold(adb.logcat(), package, campaign.value)
+                adb.logcat_clear()
+        health_crashes: Dict[str, int] = {}
+        for campaign in Campaign:
+            health_crashes[campaign.value] = sum(
+                1
+                for package in packages
+                if collector.app_campaign.get((package, campaign.value))
+                == Manifestation.CRASH
+            )
+        rows.append(
+            StrideStabilityRow(
+                label=f"A/{scale[Campaign.A]}",
+                a_stride=scale[Campaign.A],
+                health_crash_apps=health_crashes,
+                other_crash_apps={},
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass
+class VendorAblationRow:
+    """Crash counts with and without the vendor layer."""
+
+    device_label: str
+    builtin_apps: int
+    builtin_crashing_apps: int
+    vendor_crashing_apps: int
+
+
+def ablate_vendor_layer(
+    campaigns: Sequence[Campaign] = (Campaign.B, Campaign.C),
+) -> List[VendorAblationRow]:
+    """Threat-to-validity #1: vendor-specific customisations.
+
+    The paper's intent study "used a single wearable device and thus is
+    blind to vendor-specific customizations"; its UI study deliberately
+    switched to the emulator to drop them.  Here we run the same focused
+    intent campaigns on both populations -- the Moto 360 (with Motorola's
+    vendor layer) and the Watch emulator (without) -- and compare built-in
+    crash behaviour.  The vendor app's crashes exist only on real hardware,
+    quantifying what single-device studies miss.
+    """
+    from repro.apps.catalog import emulator_packages
+    from repro.apps.builtin import google_fit_spec_key
+    from repro.apps.health import register_health_factories
+
+    rows: List[VendorAblationRow] = []
+
+    for label, is_emulator in (("moto360 (vendor layer)", False), ("emulator (no vendor)", True)):
+        corpus = build_wear_corpus(seed=2018)
+        device = WearDevice("vendor-ablation", is_emulator=is_emulator)
+        if is_emulator:
+            packages = emulator_packages(corpus)
+            corpus.registry.install(device.activity_manager)
+            register_health_factories(device.activity_manager)
+            google_fit_spec_key(corpus.registry, device.activity_manager)
+            for package in packages:
+                device.install(package)
+        else:
+            corpus.install(device)
+        fuzzer = FuzzerLibrary(device)
+        collector = StudyCollector(device.packages.installed_packages())
+        adb = device.adb
+        adb.logcat_clear()
+        builtin_packages = [
+            p for p in device.packages.installed_packages() if p.is_built_in
+        ]
+        for package in builtin_packages:
+            for campaign in campaigns:
+                fuzzer.fuzz_app(
+                    package.package, campaign, FuzzConfig(strides=_QUICK_STRIDES)
+                )
+                collector.fold(adb.logcat(), package.package, campaign.value)
+                adb.logcat_clear()
+        crashed = set(collector.crashing_packages())
+        vendor_crashed = sum(
+            1 for p in builtin_packages if p.vendor and p.package in crashed
+        )
+        rows.append(
+            VendorAblationRow(
+                device_label=label,
+                builtin_apps=len(builtin_packages),
+                builtin_crashing_apps=sum(
+                    1 for p in builtin_packages if p.package in crashed
+                ),
+                vendor_crashing_apps=vendor_crashed,
+            )
+        )
+    return rows
+
+
+def render_rows(rows: Sequence[AblationRow]) -> str:
+    lines = [
+        f"ABLATION: {rows[0].parameter}" if rows else "ABLATION (empty)",
+        "-" * 60,
+        f"{'value':>12} {'reboots':>8} {'crashes':>8}  notes",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.value:>12g} {row.reboots:>8} {row.crashes_seen:>8}  {row.notes}"
+        )
+    return "\n".join(lines)

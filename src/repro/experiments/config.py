@@ -1,0 +1,59 @@
+"""Experiment configurations: quick scale and paper scale.
+
+The paper's numbers come from ~1.5M intents over 46 apps plus 2 x 41,405 UI
+events; a paper-scale run of this reproduction does the same volume on the
+virtual clock.  The quick scale keeps every structural property that the
+results depend on -- every component still sees every action, campaign B
+and D run in full, the reboot scenarios still have room to accumulate state
+-- while shrinking campaign A ~12x and the UI event count ~10x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import FuzzConfig
+
+#: Table V's per-mode event count.
+PAPER_UI_EVENTS = 41_405
+QUICK_UI_EVENTS = 4_000
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """One end-to-end study configuration."""
+
+    name: str
+    fuzz: FuzzConfig
+    ui_events: int
+    corpus_seed: int = 2018
+    phone_seed: int = 711
+    ui_seed: int = 25
+    #: Cap on retained log records between collection points; segments are
+    #: folded and cleared after every (app, campaign), so this only guards
+    #: against one segment exploding.
+    logcat_capacity: Optional[int] = 2_000_000
+
+
+QUICK = ExperimentConfig(
+    name="quick",
+    fuzz=FuzzConfig(
+        strides={Campaign.A: 12, Campaign.B: 1, Campaign.C: 2, Campaign.D: 1}
+    ),
+    ui_events=QUICK_UI_EVENTS,
+)
+
+PAPER = ExperimentConfig(
+    name="paper",
+    fuzz=FuzzConfig(stride=1),
+    ui_events=PAPER_UI_EVENTS,
+)
+
+
+def by_name(name: str) -> ExperimentConfig:
+    configs = {"quick": QUICK, "paper": PAPER}
+    if name not in configs:
+        raise ValueError(f"unknown experiment config: {name!r} (quick|paper)")
+    return configs[name]

@@ -1,0 +1,69 @@
+"""The Android-phone comparison study (Section IV-C / Table IV).
+
+"Since previous works targeted earlier version of Android, we decided to
+run similar experiments on a mobile phone to have a more accurate
+comparison between the Android and AW ecosystem.  The experiments included
+all four campaigns, targeting a Nexus 6 running Android 7.1.1 […] After
+filtering the apps by the prefix com.android, we found 63 apps (595
+Activities and 218 Services)."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.analysis.manifest import StudyCollector
+from repro.apps.catalog import Corpus, build_phone_corpus
+from repro.experiments.config import QUICK, ExperimentConfig
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import FuzzerLibrary, QGJ_MOBILE_PACKAGE
+from repro.qgj.results import FuzzSummary
+from repro.wear.device import PhoneDevice
+
+
+@dataclasses.dataclass
+class PhoneStudyResult:
+    collector: StudyCollector
+    summary: FuzzSummary
+    corpus: Corpus
+    phone: PhoneDevice
+    config: ExperimentConfig
+
+    @property
+    def intents_sent(self) -> int:
+        return self.summary.total_sent
+
+
+def run_phone_study(
+    config: ExperimentConfig = QUICK,
+    packages: Optional[Sequence[str]] = None,
+    campaigns: Sequence[Campaign] = tuple(Campaign),
+) -> PhoneStudyResult:
+    """Run the four campaigns against the ``com.android.*`` population."""
+    corpus = build_phone_corpus(seed=config.phone_seed)
+    phone = PhoneDevice(
+        "nexus6", model="Nexus 6", logcat_capacity=config.logcat_capacity
+    )
+    corpus.install(phone)
+    collector = StudyCollector(corpus.packages())
+    fuzzer = FuzzerLibrary(phone, sender_package=QGJ_MOBILE_PACKAGE)
+    summary = FuzzSummary(device=phone.name)
+    adb = phone.adb
+
+    if packages is None:
+        packages = [app.package.package for app in corpus.apps]
+    adb.logcat_clear()
+    for package_name in packages:
+        for campaign in campaigns:
+            app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
+            summary.apps.append(app_result)
+            collector.fold(adb.logcat(), package_name, campaign.value)
+            adb.logcat_clear()
+    return PhoneStudyResult(
+        collector=collector,
+        summary=summary,
+        corpus=corpus,
+        phone=phone,
+        config=config,
+    )

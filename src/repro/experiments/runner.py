@@ -1,0 +1,108 @@
+"""Cached study runners and the full-report entry point.
+
+The benchmark suite regenerates every table and figure; running the whole
+fuzzing study once per benchmark file would multiply a minutes-long
+simulation nine-fold, so the three studies are memoised per configuration
+here.  ``python -m repro.experiments.runner [quick|paper]`` prints the
+complete reproduced report.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+from typing import Optional
+
+from repro.analysis import figures, report, tables
+from repro.experiments.config import ExperimentConfig, by_name
+from repro.experiments.phone_experiment import PhoneStudyResult, run_phone_study
+from repro.experiments.ui_experiment import UiStudyResult, run_ui_study
+from repro.experiments.wear_experiment import WearStudyResult, run_wear_study
+
+
+@functools.lru_cache(maxsize=2)
+def wear_study(config_name: str = "quick") -> WearStudyResult:
+    return run_wear_study(by_name(config_name))
+
+
+@functools.lru_cache(maxsize=2)
+def phone_study(config_name: str = "quick") -> PhoneStudyResult:
+    return run_phone_study(by_name(config_name))
+
+
+@functools.lru_cache(maxsize=2)
+def ui_study(config_name: str = "quick") -> UiStudyResult:
+    return run_ui_study(by_name(config_name))
+
+
+def full_report(config_name: str = "quick") -> str:
+    """Every table and figure of the paper, regenerated, as one report."""
+    wear = wear_study(config_name)
+    phone = phone_study(config_name)
+    ui = ui_study(config_name)
+
+    sections = [
+        f"== Reproduced results ({config_name} scale) ==",
+        f"wear study: {wear.intents_sent} intents, "
+        f"{wear.reboot_count} reboots, {wear.virtual_hours():.1f} virtual hours",
+        f"phone study: {phone.intents_sent} intents",
+        "",
+        report.render_table1(tables.table1_campaigns(wear.summary)),
+        "",
+        report.render_table2(tables.table2_population(wear.corpus.packages())),
+        "",
+        report.render_table3(tables.table3_behaviors(wear.collector)),
+        "",
+        report.render_table4(tables.table4_phone_crashes(phone.collector)),
+        "",
+        report.render_table5(tables.table5_ui(ui.results)),
+        "",
+        report.render_fig2(figures.fig2_exception_distribution(wear.collector)),
+        "",
+        report.render_fig3a(figures.fig3a_manifestations(wear.collector)),
+        "",
+        report.render_fig3b(
+            figures.fig3b_rootcause_by_manifestation(wear.collector),
+            figures.fig3b_base_counts(wear.collector),
+        ),
+        "",
+        report.render_fig4(figures.fig4_crashes_by_app_class(wear.collector)),
+        "",
+        report.render_reboot_postmortems(wear.collector),
+    ]
+    return "\n".join(sections)
+
+
+def export_json(config_name: str = "quick", path: Optional[str] = None) -> str:
+    """The full study as machine-readable JSON (see analysis.export)."""
+    from repro.analysis.export import assert_json_safe, dump_json, export_results
+
+    results = export_results(
+        wear_study(config_name), phone_study(config_name), ui_study(config_name)
+    )
+    assert_json_safe(results)
+    return dump_json(results, path=path)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    json_path: Optional[str] = None
+    if "--json" in args:
+        index = args.index("--json")
+        if index + 1 >= len(args):
+            print("usage: python -m repro [quick|paper] [--json FILE]", file=sys.stderr)
+            return 2
+        json_path = args[index + 1]
+        del args[index : index + 2]
+    config_name = args[0] if args else "quick"
+    by_name(config_name)  # validate early
+    if json_path is not None:
+        export_json(config_name, path=json_path)
+        print(f"wrote {json_path}")
+        return 0
+    print(full_report(config_name))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

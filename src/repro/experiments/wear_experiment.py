@@ -1,0 +1,88 @@
+"""The full QGJ-Master study on the wearable (Sections III-D / IV-A..B).
+
+Reproduces the paper's main experiment end to end:
+
+1. build the 46-app corpus and install it on a simulated Moto 360 paired
+   with a Nexus 4;
+2. deploy QGJ on both devices;
+3. for every app, run all four Fuzz Intent Campaigns one after another with
+   the paper's pacing;
+4. after each (app, campaign) segment, pull the device log over adb, fold
+   it into the :class:`~repro.analysis.manifest.StudyCollector`, and clear
+   the buffer (the per-app log-collection rhythm of the original study);
+5. return everything the tables/figures need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.analysis.manifest import StudyCollector
+from repro.apps.catalog import Corpus, build_wear_corpus
+from repro.experiments.config import QUICK, ExperimentConfig
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import FuzzerLibrary, QGJ_WEAR_PACKAGE
+from repro.qgj.master import deploy
+from repro.qgj.results import FuzzSummary
+from repro.wear.device import PhoneDevice, WearDevice, pair
+
+
+@dataclasses.dataclass
+class WearStudyResult:
+    """Everything a wear-study run produces."""
+
+    collector: StudyCollector
+    summary: FuzzSummary
+    corpus: Corpus
+    watch: WearDevice
+    phone: PhoneDevice
+    config: ExperimentConfig
+
+    @property
+    def reboot_count(self) -> int:
+        return len(self.collector.reboots)
+
+    @property
+    def intents_sent(self) -> int:
+        return self.summary.total_sent
+
+    def virtual_hours(self) -> float:
+        return self.watch.clock.now_ms() / 3_600_000.0
+
+
+def run_wear_study(
+    config: ExperimentConfig = QUICK,
+    packages: Optional[Sequence[str]] = None,
+    campaigns: Sequence[Campaign] = tuple(Campaign),
+) -> WearStudyResult:
+    """Run the complete wearable fuzzing study."""
+    corpus = build_wear_corpus(seed=config.corpus_seed)
+    watch = WearDevice("moto360", logcat_capacity=config.logcat_capacity)
+    phone = PhoneDevice("nexus4", model="LG Nexus 4")
+    pair(phone, watch)
+    corpus.install(watch)
+    deploy(phone, watch)  # QGJ on both devices, as in the paper's setup
+
+    collector = StudyCollector(corpus.packages())
+    fuzzer = FuzzerLibrary(watch, sender_package=QGJ_WEAR_PACKAGE)
+    summary = FuzzSummary(device=watch.name)
+    adb = watch.adb
+
+    if packages is None:
+        packages = [app.package.package for app in corpus.apps]
+    adb.logcat_clear()
+    for package_name in packages:
+        for campaign in campaigns:
+            app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
+            summary.apps.append(app_result)
+            collector.fold(adb.logcat(), package_name, campaign.value)
+            adb.logcat_clear()
+    return WearStudyResult(
+        collector=collector,
+        summary=summary,
+        corpus=corpus,
+        watch=watch,
+        phone=phone,
+        config=config,
+    )

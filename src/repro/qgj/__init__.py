@@ -1,0 +1,99 @@
+"""Qui-Gon Jinn (QGJ): the paper's fuzz-testing tool.
+
+* :mod:`repro.qgj.campaigns` -- the four Fuzz Intent Campaigns of Table I.
+* :mod:`repro.qgj.fuzzer` -- the shared Fuzzer library (pacing, injection,
+  reboot-aware app sweeps).
+* :mod:`repro.qgj.master` -- QGJ Mobile + QGJ Wear and their MessageAPI /
+  DataAPI protocol (Fig. 1a).
+* :mod:`repro.qgj.monkey` -- the Monkey-style UI event generator and its
+  log grammar.
+* :mod:`repro.qgj.ui_fuzzer` -- QGJ-UI: parse the monkey log, mutate events
+  (semi-valid / random), replay through adb shell (Fig. 1b).
+"""
+
+from repro.qgj.campaigns import (
+    Campaign,
+    FuzzIntent,
+    campaign_size,
+    generate,
+    table1_rows,
+)
+from repro.qgj.fuzzer import (
+    PAPER_CONFIG,
+    QGJ_MOBILE_PACKAGE,
+    QGJ_WEAR_PACKAGE,
+    QUICK_CONFIG,
+    FuzzConfig,
+    FuzzerLibrary,
+)
+from repro.qgj.lint import (
+    LintCorrelation,
+    LintFinding,
+    Severity,
+    correlate,
+    lint_device,
+    lint_package,
+    render_report,
+)
+from repro.qgj.master import QGJMobile, QGJWear, deploy
+from repro.qgj.monkey import Monkey, MonkeyEvent, format_event, parse_monkey_log
+from repro.qgj.results import AppRunResult, ComponentRunResult, FuzzSummary
+from repro.qgj.triage import (
+    CrashBucket,
+    CrashProber,
+    CrashSignature,
+    TriageReport,
+    minimize_intent,
+    triage_app,
+)
+from repro.qgj.ui_fuzzer import (
+    EventMutator,
+    MutationMode,
+    QGJUi,
+    UiInjectionResult,
+    event_to_shell,
+    render_table5,
+)
+
+__all__ = [
+    "AppRunResult",
+    "Campaign",
+    "ComponentRunResult",
+    "CrashBucket",
+    "CrashProber",
+    "CrashSignature",
+    "TriageReport",
+    "minimize_intent",
+    "triage_app",
+    "EventMutator",
+    "FuzzConfig",
+    "FuzzIntent",
+    "FuzzSummary",
+    "FuzzerLibrary",
+    "LintCorrelation",
+    "LintFinding",
+    "Severity",
+    "correlate",
+    "lint_device",
+    "lint_package",
+    "render_report",
+    "Monkey",
+    "MonkeyEvent",
+    "MutationMode",
+    "PAPER_CONFIG",
+    "QGJMobile",
+    "QGJUi",
+    "QGJWear",
+    "QGJ_MOBILE_PACKAGE",
+    "QGJ_WEAR_PACKAGE",
+    "QUICK_CONFIG",
+    "UiInjectionResult",
+    "campaign_size",
+    "deploy",
+    "event_to_shell",
+    "format_event",
+    "generate",
+    "parse_monkey_log",
+    "render_table5",
+    "table1_rows",
+]

@@ -1,0 +1,216 @@
+"""The QGJ Fuzzer library.
+
+"This is the Java library, which contains the main functions needed to
+inject intents on the target device.  Since intents have to be sent from the
+target device, this library is shared by QGJ Mobile and QGJ wearable."
+
+The library runs a :class:`~repro.qgj.campaigns.Campaign` against one
+component, one app, or the whole device, with the paper's pacing: 100 ms
+between successive intents and an extra 250 ms after every 100 intents
+("empirically determined … to ensure the device is not overloaded").  QGJ is
+an *unprivileged* app -- it sends through the public startActivity /
+startService entry points and observes only what those surface
+(``SecurityException``, ``ActivityNotFoundException``) plus the dispatch
+telemetry; behavioural classification happens later from logcat.
+
+A device reboot mid-campaign aborts the rest of the *current app* (the
+session to the device is lost; the operator resumes with the next app) --
+which is also why each observed reboot appears exactly once per run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+from repro.android.component import ComponentInfo, ComponentKind
+from repro.android.device import Device
+from repro.android.jtypes import ActivityNotFoundException, SecurityException
+from repro.qgj.campaigns import Campaign, FuzzIntent, generate
+from repro.qgj.results import AppRunResult, ComponentRunResult, FuzzSummary
+
+#: Package identity under which QGJ injects (unprivileged, as in the paper).
+QGJ_WEAR_PACKAGE = "com.qgj.wear"
+QGJ_MOBILE_PACKAGE = "com.qgj.mobile"
+
+#: Pacing, from Section III-D.
+INTENT_DELAY_MS = 100.0
+BATCH_DELAY_MS = 250.0
+BATCH_SIZE = 100
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzConfig:
+    """Tunable knobs for one fuzzing run.
+
+    ``stride`` subsamples every campaign uniformly; ``strides`` overrides it
+    per campaign.  The quick configuration's strides are chosen so that the
+    *structure* of each campaign survives subsampling: campaign A's stride
+    of 12 keeps exactly one data URI per action (every action still reaches
+    every component), and campaign C's stride of 2 keeps at least one of
+    each action's three randomised rounds.
+    """
+
+    #: Default subsampling stride over each campaign's generator (1 = paper scale).
+    stride: int = 1
+    #: Per-campaign stride overrides.
+    strides: Optional[dict] = None
+    #: Hard cap per component (None = the campaign's natural size).
+    max_intents_per_component: Optional[int] = None
+    seed: int = 0
+    intent_delay_ms: float = INTENT_DELAY_MS
+    batch_delay_ms: float = BATCH_DELAY_MS
+    batch_size: int = BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if self.strides is not None:
+            for campaign, stride in self.strides.items():
+                if stride < 1:
+                    raise ValueError(f"stride for {campaign} must be >= 1, got {stride}")
+        if self.max_intents_per_component is not None and self.max_intents_per_component < 1:
+            raise ValueError("max_intents_per_component must be >= 1")
+
+    def stride_for(self, campaign: Campaign) -> int:
+        if self.strides is not None and campaign in self.strides:
+            return self.strides[campaign]
+        return self.stride
+
+
+#: Quick scale: every component still sees every action and every corruption
+#: class, volumes shrink ~3.5x (A shrinks 12x; B and D run in full).
+QUICK_CONFIG = FuzzConfig(
+    strides={Campaign.A: 12, Campaign.B: 1, Campaign.C: 2, Campaign.D: 1}
+)
+
+#: Paper-scale: the full Table I volumes (~2M intents over the corpus).
+PAPER_CONFIG = FuzzConfig(stride=1)
+
+
+class FuzzerLibrary:
+    """Injects campaign intents into components of one device."""
+
+    def __init__(self, device: Device, sender_package: str = QGJ_WEAR_PACKAGE) -> None:
+        self._device = device
+        self.sender_package = sender_package
+
+    # -- single component ---------------------------------------------------------
+    def fuzz_component(
+        self,
+        info: ComponentInfo,
+        campaign: Campaign,
+        config: FuzzConfig = QUICK_CONFIG,
+    ) -> ComponentRunResult:
+        """Run *campaign* against one component."""
+        result = ComponentRunResult(
+            component=info.name.flatten_to_string(),
+            kind=info.kind,
+            campaign=campaign,
+        )
+        clock = self._device.clock
+        boots_before = self._device.boot_count
+        for fuzz_intent in generate(
+            campaign,
+            seed=config.seed,
+            component=info.name,
+            stride=config.stride_for(campaign),
+        ):
+            if (
+                config.max_intents_per_component is not None
+                and result.sent >= config.max_intents_per_component
+            ):
+                break
+            self._inject(info, fuzz_intent, result)
+            clock.sleep(config.intent_delay_ms)
+            if result.sent % config.batch_size == 0:
+                clock.sleep(config.batch_delay_ms)
+            if self._device.boot_count != boots_before:
+                result.rebooted = True
+                result.aborted = True
+                break
+        return result
+
+    def _inject(
+        self, info: ComponentInfo, fuzz_intent: FuzzIntent, result: ComponentRunResult
+    ) -> None:
+        intent = fuzz_intent.build(info.name)
+        am = self._device.activity_manager
+        result.sent += 1
+        try:
+            if info.kind == ComponentKind.ACTIVITY:
+                dispatch = am.start_activity(self.sender_package, intent)
+            else:
+                name, dispatch = am.start_service_with_result(self.sender_package, intent)
+                if name is None:
+                    result.not_found += 1
+                    return
+        except SecurityException:
+            result.security_exceptions += 1
+            return
+        except ActivityNotFoundException:
+            result.not_found += 1
+            return
+        if dispatch.delivered:
+            result.delivered += 1
+        if dispatch.crashed:
+            result.crashes_seen += 1
+        if dispatch.anr:
+            result.anrs_seen += 1
+
+    # -- whole app ------------------------------------------------------------------
+    def fuzz_app(
+        self,
+        package_name: str,
+        campaign: Campaign,
+        config: FuzzConfig = QUICK_CONFIG,
+        kinds: Sequence[ComponentKind] = (ComponentKind.ACTIVITY, ComponentKind.SERVICE),
+    ) -> AppRunResult:
+        """Run *campaign* against every targetable component of one app.
+
+        Aborts the remaining components if the device reboots mid-run.
+        """
+        package = self._device.packages.get_package(package_name)
+        if package is None:
+            raise ValueError(f"package not installed: {package_name}")
+        app_result = AppRunResult(package=package_name, campaign=campaign)
+        wanted = set(kinds)
+        for info in package.components:
+            if info.kind not in wanted:
+                continue
+            component_result = self.fuzz_component(info, campaign, config)
+            app_result.components.append(component_result)
+            if component_result.rebooted:
+                app_result.aborted_by_reboot = True
+                break
+        return app_result
+
+    def fuzz_app_all_campaigns(
+        self,
+        package_name: str,
+        config: FuzzConfig = QUICK_CONFIG,
+        campaigns: Iterable[Campaign] = tuple(Campaign),
+    ) -> List[AppRunResult]:
+        """All four campaigns, one after another, as in the experiments."""
+        return [self.fuzz_app(package_name, campaign, config) for campaign in campaigns]
+
+    # -- whole device -----------------------------------------------------------------
+    def fuzz_device(
+        self,
+        config: FuzzConfig = QUICK_CONFIG,
+        campaigns: Iterable[Campaign] = tuple(Campaign),
+        packages: Optional[Sequence[str]] = None,
+        exclude: Sequence[str] = (QGJ_WEAR_PACKAGE, QGJ_MOBILE_PACKAGE),
+    ) -> FuzzSummary:
+        """Fuzz every installed app (or *packages*) with every campaign."""
+        summary = FuzzSummary(device=self._device.name)
+        if packages is None:
+            packages = [
+                p.package
+                for p in self._device.packages.installed_packages()
+                if p.package not in exclude
+            ]
+        for package_name in packages:
+            for campaign in campaigns:
+                summary.apps.append(self.fuzz_app(package_name, campaign, config))
+        return summary

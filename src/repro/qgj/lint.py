@@ -1,0 +1,275 @@
+"""QGJ-Lint: static robustness inspection of app manifests.
+
+Section IV-E's first recommendation is *better tool support*: "features like
+exception handling warning, the Analyze Stacktrace tool, and the Lint static
+code inspection tool in Android Studio IDE are steps in the right direction.
+Integration of Android Studio with dynamic testing tools like QGJ can
+further help developers to improve application robustness."
+
+This module is that integration prototype.  It inspects what is statically
+visible about an installed package -- its manifest (exported surface,
+permission guards, intent filters) and platform-level metadata -- and emits
+the warnings a robustness-aware lint would, each mapped to the dynamic
+finding from the study that motivates it:
+
+=======================  =====================================================
+Check                    Motivating finding
+=======================  =====================================================
+exported-unguarded       every crash in the study entered through an exported,
+                         permission-free component
+large-attack-surface     apps with many exported components crashed more
+protected-action-filter  filters on protected actions are dead code (only the
+                         system may send them) and hint at confused validation
+legacy-widget            the GridViewPager ArithmeticException came from an
+                         app that never migrated to the AW 2.0 spec
+sensor-direct            the SensorService reboot came from an app using
+                         SensorManager directly instead of Google Fit
+signature-permission     requesting signature-level permissions a third-party
+                         app can never hold
+=======================  =====================================================
+
+The second half of the integration is :func:`correlate`: given a lint report
+and the dynamic study's collector, it measures how well the static warnings
+*predict* the observed crashes -- the evidence an IDE integration would show.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.manifest import StudyCollector
+from repro.android.package_manager import AppOrigin, PackageInfo
+from repro.android.permissions import PROTECTED_ACTIONS, PermissionManager, ProtectionLevel
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class LintFinding:
+    """One static finding."""
+
+    check: str
+    severity: Severity
+    package: str
+    component: Optional[str]
+    message: str
+
+    def render(self) -> str:
+        where = self.component or self.package
+        return f"[{self.severity}] {self.check}: {where}: {self.message}"
+
+
+#: Exported-component count above which the attack surface is flagged.
+LARGE_SURFACE_THRESHOLD = 20
+
+
+def lint_package(
+    package: PackageInfo, permissions: Optional[PermissionManager] = None
+) -> List[LintFinding]:
+    """Run every check against one package."""
+    findings: List[LintFinding] = []
+    findings.extend(_check_exported_unguarded(package))
+    findings.extend(_check_large_surface(package))
+    findings.extend(_check_protected_action_filters(package))
+    findings.extend(_check_legacy_widget(package))
+    findings.extend(_check_sensor_direct(package))
+    if permissions is not None:
+        findings.extend(_check_signature_permissions(package, permissions))
+    return findings
+
+
+def lint_device(device) -> List[LintFinding]:
+    """Lint every installed package on *device*."""
+    findings: List[LintFinding] = []
+    for package in device.packages.installed_packages():
+        findings.extend(lint_package(package, device.permissions))
+    return findings
+
+
+# -- individual checks ---------------------------------------------------------
+
+
+def _check_exported_unguarded(package: PackageInfo) -> List[LintFinding]:
+    findings = []
+    for component in package.components:
+        if component.exported and component.permission is None and not component.is_launcher():
+            findings.append(
+                LintFinding(
+                    check="exported-unguarded",
+                    severity=Severity.WARNING,
+                    package=package.package,
+                    component=component.name.flatten_to_short_string(),
+                    message=(
+                        f"{component.kind.value} is exported without a permission guard; "
+                        "any app can deliver arbitrary intents to it"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_large_surface(package: PackageInfo) -> List[LintFinding]:
+    exported = sum(1 for c in package.components if c.exported)
+    if exported <= LARGE_SURFACE_THRESHOLD:
+        return []
+    return [
+        LintFinding(
+            check="large-attack-surface",
+            severity=Severity.INFO,
+            package=package.package,
+            component=None,
+            message=f"{exported} exported components; consider reducing the IPC surface",
+        )
+    ]
+
+
+def _check_protected_action_filters(package: PackageInfo) -> List[LintFinding]:
+    findings = []
+    for component in package.components:
+        for intent_filter in component.intent_filters:
+            bad = sorted(set(intent_filter.actions) & PROTECTED_ACTIONS)
+            for action in bad:
+                findings.append(
+                    LintFinding(
+                        check="protected-action-filter",
+                        severity=Severity.WARNING,
+                        package=package.package,
+                        component=component.name.flatten_to_short_string(),
+                        message=(
+                            f"intent filter matches protected action {action}; only the "
+                            "system can send it, so this filter is unreachable"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _check_legacy_widget(package: PackageInfo) -> List[LintFinding]:
+    if package.targets_wear2:
+        return []
+    return [
+        LintFinding(
+            check="legacy-widget",
+            severity=Severity.ERROR,
+            package=package.package,
+            component=None,
+            message=(
+                "app has not migrated to the Android Wear 2.0 specification; "
+                "deprecated classes such as GridViewPager carry known defects "
+                "(divide-by-zero on empty page grids)"
+            ),
+        )
+    ]
+
+
+def _check_sensor_direct(package: PackageInfo) -> List[LintFinding]:
+    if not package.uses_sensor_manager:
+        return []
+    return [
+        LintFinding(
+            check="sensor-direct",
+            severity=Severity.WARNING,
+            package=package.package,
+            component=None,
+            message=(
+                "app talks to SensorManager directly; an unresponsive handler "
+                "holding sensor listeners can wedge the core SensorService "
+                "(see the study's reboot #1) -- prefer the Google Fit API"
+            ),
+        )
+    ]
+
+
+def _check_signature_permissions(
+    package: PackageInfo, permissions: PermissionManager
+) -> List[LintFinding]:
+    if package.origin == AppOrigin.BUILT_IN:
+        return []
+    findings = []
+    for name in package.requested_permissions:
+        permission = permissions.get(name)
+        if permission is None:
+            continue
+        if permission.level in (ProtectionLevel.SIGNATURE, ProtectionLevel.PRIVILEGED):
+            findings.append(
+                LintFinding(
+                    check="signature-permission",
+                    severity=Severity.WARNING,
+                    package=package.package,
+                    component=None,
+                    message=(
+                        f"requests {name} ({permission.level.value}); a third-party "
+                        "app can never hold it"
+                    ),
+                )
+            )
+    return findings
+
+
+# -- static-vs-dynamic correlation ---------------------------------------------
+
+
+@dataclasses.dataclass
+class LintCorrelation:
+    """How well the static warnings predicted the dynamic findings."""
+
+    flagged_components: int
+    crashed_components: int
+    crashed_and_flagged: int
+    recall: float          # crashed components that were flagged
+    flag_rate: float       # flagged components / all components
+
+
+def correlate(findings: Sequence[LintFinding], collector: StudyCollector) -> LintCorrelation:
+    """Compare component-level lint flags against observed crash behaviour."""
+    flagged = set()
+    for finding in findings:
+        if finding.component is None:
+            continue
+        package, _, cls = finding.component.partition("/")
+        if cls.startswith("."):
+            cls = package + cls
+        flagged.add(f"{package}/{cls}")
+    # "Crashed" means the component itself died with an uncaught throwable;
+    # reboot-implicated bystanders (e.g. a launcher whose *handled* warnings
+    # sit in the escalation window) are not validation failures.
+    crashed = {
+        record.component
+        for record in collector.component_records()
+        if record.fatal_root_classes
+    }
+    total = len(collector.component_records())
+    both = len(flagged & crashed)
+    return LintCorrelation(
+        flagged_components=len(flagged),
+        crashed_components=len(crashed),
+        crashed_and_flagged=both,
+        recall=both / len(crashed) if crashed else 1.0,
+        flag_rate=len(flagged) / total if total else 0.0,
+    )
+
+
+def render_report(findings: Sequence[LintFinding], limit: int = 20) -> str:
+    """Human-readable lint report with a per-check summary."""
+    by_check: Dict[str, int] = {}
+    for finding in findings:
+        by_check[finding.check] = by_check.get(finding.check, 0) + 1
+    lines = ["QGJ-LINT REPORT", "-" * 60]
+    for check, count in sorted(by_check.items(), key=lambda item: (-item[1], item[0])):
+        lines.append(f"  {check:<26} {count:>5} findings")
+    lines.append("")
+    for finding in list(findings)[:limit]:
+        lines.append(finding.render())
+    remaining = len(findings) - limit
+    if remaining > 0:
+        lines.append(f"... and {remaining} more")
+    return "\n".join(lines)

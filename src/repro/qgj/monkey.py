@@ -1,0 +1,231 @@
+"""A UI/Application Exerciser Monkey work-alike.
+
+QGJ-UI is built *on top of* Monkey (the paper's Fig. 1b): Monkey is run on
+the target device to generate a stream of UI events with "equal percentages
+for different types of events (e.g. touch, trackball, app switch,
+permission etc.)"; its log is then parsed to recover the events and the
+intents they triggered, which QGJ-UI mutates and replays.
+
+This module generates that stream and writes the same log grammar the real
+Monkey writes (``:Sending Touch (ACTION_DOWN): 0:(123.0,240.0)``,
+``:Switch: #Intent;…;end``), because QGJ-UI genuinely *parses the log* --
+the round trip through text is part of the reproduced pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.android.device import Device
+
+#: Event kinds and the (slot, type) schema of each.  Types drive mutation.
+EVENT_SCHEMAS: Dict[str, Tuple[Tuple[str, type], ...]] = {
+    "touch": (("x", float), ("y", float)),
+    "swipe": (("x1", float), ("y1", float), ("x2", float), ("y2", float)),
+    "trackball": (("dx", float), ("dy", float)),
+    "keyevent_nav": (("code", int),),
+    "keyevent_sys": (("code", int),),
+    "text": (("text", str),),
+    "appswitch": (("component", str),),
+    "permission": (("package", str), ("permission", str)),
+}
+
+EVENT_KINDS: Tuple[str, ...] = tuple(EVENT_SCHEMAS)
+
+NAV_KEYCODES = (19, 20, 21, 22, 23, 4)          # dpad + back
+SYS_KEYCODES = (3, 4, 26, 82)                    # home, back, power, menu
+
+_TEXT_POOL = (
+    "ok", "hello", "watch", "fitness", "reply", "42", "stop", "start",
+    "yes", "no", "sync now", "later",
+)
+
+
+@dataclasses.dataclass
+class MonkeyEvent:
+    """One generated UI event (or monkey-triggered intent)."""
+
+    kind: str
+    args: Dict[str, object]
+
+    def schema(self) -> Tuple[Tuple[str, type], ...]:
+        return EVENT_SCHEMAS[self.kind]
+
+    def copy(self) -> "MonkeyEvent":
+        return MonkeyEvent(kind=self.kind, args=dict(self.args))
+
+
+class Monkey:
+    """Seeded event-stream generator bound to one device."""
+
+    def __init__(
+        self,
+        device: Device,
+        seed: int = 0,
+        percentages: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self._device = device
+        self._rng = random.Random(seed)
+        if percentages is None:
+            # The paper: "we specify equal percentages for different types".
+            percentages = {kind: 1.0 for kind in EVENT_KINDS}
+        unknown = set(percentages) - set(EVENT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+        self._kinds = sorted(percentages)
+        self._weights = [percentages[k] for k in self._kinds]
+
+    # -- generation ----------------------------------------------------------------
+    def generate(self, count: int) -> List[MonkeyEvent]:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        launchers = [
+            c.name.flatten_to_short_string()
+            for c in self._device.packages.launcher_activities()
+        ]
+        packages = [p.package for p in self._device.packages.installed_packages()]
+        permissions = sorted(self._device.permissions.all_names())
+        events: List[MonkeyEvent] = []
+        for _ in range(count):
+            kind = self._rng.choices(self._kinds, weights=self._weights)[0]
+            events.append(self._make(kind, launchers, packages, permissions))
+        return events
+
+    def _make(
+        self,
+        kind: str,
+        launchers: Sequence[str],
+        packages: Sequence[str],
+        permissions: Sequence[str],
+    ) -> MonkeyEvent:
+        rng = self._rng
+        width = getattr(self._device, "screen_width", 1440)
+        height = getattr(self._device, "screen_height", 2560)
+        if kind == "touch":
+            return MonkeyEvent(
+                kind, {"x": round(rng.uniform(0, width - 1), 2), "y": round(rng.uniform(0, height - 1), 2)}
+            )
+        if kind == "swipe":
+            return MonkeyEvent(
+                kind,
+                {
+                    "x1": round(rng.uniform(0, width - 1), 2),
+                    "y1": round(rng.uniform(0, height - 1), 2),
+                    "x2": round(rng.uniform(0, width - 1), 2),
+                    "y2": round(rng.uniform(0, height - 1), 2),
+                },
+            )
+        if kind == "trackball":
+            return MonkeyEvent(
+                kind, {"dx": round(rng.uniform(-5, 5), 2), "dy": round(rng.uniform(-5, 5), 2)}
+            )
+        if kind == "keyevent_nav":
+            return MonkeyEvent(kind, {"code": rng.choice(NAV_KEYCODES)})
+        if kind == "keyevent_sys":
+            return MonkeyEvent(kind, {"code": rng.choice(SYS_KEYCODES)})
+        if kind == "text":
+            return MonkeyEvent(kind, {"text": rng.choice(_TEXT_POOL)})
+        if kind == "appswitch":
+            component = rng.choice(launchers) if launchers else "com.android.shell/.Main"
+            return MonkeyEvent(kind, {"component": component})
+        if kind == "permission":
+            return MonkeyEvent(
+                kind,
+                {
+                    "package": rng.choice(packages) if packages else "com.android.shell",
+                    "permission": rng.choice(permissions),
+                },
+            )
+        raise ValueError(f"unknown kind: {kind}")
+
+    # -- log round trip ---------------------------------------------------------------
+    def run(self, count: int) -> str:
+        """Generate *count* events and return the monkey log text."""
+        lines = [f":Monkey: seed={self._rng.random():.6f} count={count}"]
+        for event in self.generate(count):
+            lines.append(format_event(event))
+        lines.append("// Monkey finished")
+        return "\n".join(lines)
+
+
+def format_event(event: MonkeyEvent) -> str:
+    """Render one event in the monkey log grammar."""
+    a = event.args
+    if event.kind == "touch":
+        return f":Sending Touch (ACTION_DOWN): 0:({a['x']},{a['y']})"
+    if event.kind == "swipe":
+        return f":Sending Swipe: ({a['x1']},{a['y1']})->({a['x2']},{a['y2']})"
+    if event.kind == "trackball":
+        return f":Sending Trackball (ACTION_MOVE): 0:({a['dx']},{a['dy']})"
+    if event.kind == "keyevent_nav":
+        return f":Sending Key (ACTION_DOWN): {a['code']}    // nav"
+    if event.kind == "keyevent_sys":
+        return f":Sending Key (ACTION_DOWN): {a['code']}    // sys"
+    if event.kind == "text":
+        return f':Sending Text: "{a["text"]}"'
+    if event.kind == "appswitch":
+        return (
+            ":Switch: #Intent;action=android.intent.action.MAIN;"
+            "category=android.intent.category.LAUNCHER;launchFlags=0x10200000;"
+            f"component={a['component']};end"
+        )
+    if event.kind == "permission":
+        return f":Grant Permission: {a['package']} {a['permission']}"
+    raise ValueError(f"unknown kind: {event.kind}")
+
+
+def parse_monkey_log(text: str) -> List[MonkeyEvent]:
+    """Recover the event stream from monkey log text.
+
+    Lines that are not event lines (banner, comments, app noise) are
+    skipped, exactly like QGJ-UI's log scraper must.
+    """
+    events: List[MonkeyEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        event = _parse_line(line)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def _parse_line(line: str) -> Optional[MonkeyEvent]:
+    if line.startswith(":Sending Touch"):
+        x, y = _parse_pair(line.split(":")[-1])
+        return MonkeyEvent("touch", {"x": x, "y": y})
+    if line.startswith(":Sending Swipe"):
+        _, coords = line.split(": ", 1)
+        first, second = coords.split("->")
+        x1, y1 = _parse_pair(first)
+        x2, y2 = _parse_pair(second)
+        return MonkeyEvent("swipe", {"x1": x1, "y1": y1, "x2": x2, "y2": y2})
+    if line.startswith(":Sending Trackball"):
+        dx, dy = _parse_pair(line.split(":")[-1])
+        return MonkeyEvent("trackball", {"dx": dx, "dy": dy})
+    if line.startswith(":Sending Key"):
+        body = line.split(":", 2)[2]
+        code_text, _, comment = body.partition("//")
+        kind = "keyevent_sys" if "sys" in comment else "keyevent_nav"
+        return MonkeyEvent(kind, {"code": int(code_text.strip())})
+    if line.startswith(":Sending Text"):
+        text = line.split(": ", 1)[1].strip()
+        return MonkeyEvent("text", {"text": text.strip('"')})
+    if line.startswith(":Switch:"):
+        component = ""
+        for part in line.split(";"):
+            if part.startswith("component="):
+                component = part[len("component="):]
+        return MonkeyEvent("appswitch", {"component": component})
+    if line.startswith(":Grant Permission:"):
+        payload = line.split(":", 2)[2].strip()
+        package, _, permission = payload.partition(" ")
+        return MonkeyEvent("permission", {"package": package, "permission": permission})
+    return None
+
+
+def _parse_pair(text: str) -> Tuple[float, float]:
+    cleaned = text.strip().strip("()")
+    left, right = cleaned.split(",", 1)
+    return float(left), float(right)

@@ -1,0 +1,123 @@
+"""Result records produced by the QGJ fuzzer library.
+
+These capture what the *tool* can see from user level: intents it sent,
+security rejections it received, resolution failures, crashes and ANRs it
+noticed in flight, and reboots it survived.  The authoritative behavioural
+classification (Tables III-V, Figures 2-4) is produced separately by
+:mod:`repro.analysis` from the collected ``logcat`` text, matching the
+paper's methodology; the counters here drive QGJ Mobile's on-device summary
+and the experiment progress reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.android.component import ComponentKind
+from repro.qgj.campaigns import Campaign
+
+
+@dataclasses.dataclass
+class ComponentRunResult:
+    """Aggregate of one campaign against one component."""
+
+    component: str
+    kind: ComponentKind
+    campaign: Campaign
+    sent: int = 0
+    delivered: int = 0
+    security_exceptions: int = 0
+    not_found: int = 0
+    crashes_seen: int = 0
+    anrs_seen: int = 0
+    rebooted: bool = False
+    aborted: bool = False
+
+    def merge_counts(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "security_exceptions": self.security_exceptions,
+            "not_found": self.not_found,
+            "crashes_seen": self.crashes_seen,
+            "anrs_seen": self.anrs_seen,
+        }
+
+
+@dataclasses.dataclass
+class AppRunResult:
+    """Aggregate of one campaign against one application."""
+
+    package: str
+    campaign: Campaign
+    components: List[ComponentRunResult] = dataclasses.field(default_factory=list)
+    aborted_by_reboot: bool = False
+
+    @property
+    def sent(self) -> int:
+        return sum(c.sent for c in self.components)
+
+    @property
+    def crashes_seen(self) -> int:
+        return sum(c.crashes_seen for c in self.components)
+
+    @property
+    def rebooted(self) -> bool:
+        return any(c.rebooted for c in self.components)
+
+
+@dataclasses.dataclass
+class FuzzSummary:
+    """The summary QGJ Wear ships back to QGJ Mobile over the DataAPI."""
+
+    device: str
+    apps: List[AppRunResult] = dataclasses.field(default_factory=list)
+
+    @property
+    def total_sent(self) -> int:
+        return sum(app.sent for app in self.apps)
+
+    @property
+    def total_security_exceptions(self) -> int:
+        return sum(c.security_exceptions for app in self.apps for c in app.components)
+
+    @property
+    def total_crashes_seen(self) -> int:
+        return sum(app.crashes_seen for app in self.apps)
+
+    @property
+    def total_reboots(self) -> int:
+        return sum(1 for app in self.apps if app.aborted_by_reboot)
+
+    def to_wire(self) -> Dict[str, object]:
+        """Flatten for DataAPI transport (plain JSON-able types only)."""
+        return {
+            "device": self.device,
+            "total_sent": self.total_sent,
+            "total_security_exceptions": self.total_security_exceptions,
+            "total_crashes_seen": self.total_crashes_seen,
+            "total_reboots": self.total_reboots,
+            "apps": [
+                {
+                    "package": app.package,
+                    "campaign": app.campaign.value,
+                    "sent": app.sent,
+                    "crashes_seen": app.crashes_seen,
+                    "aborted_by_reboot": app.aborted_by_reboot,
+                }
+                for app in self.apps
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (what QGJ Mobile shows after a run)."""
+        lines = [
+            f"QGJ fuzz summary for {self.device}",
+            f"  intents sent:        {self.total_sent}",
+            f"  security exceptions: {self.total_security_exceptions}",
+            f"  crashes observed:    {self.total_crashes_seen}",
+            f"  device reboots:      {self.total_reboots}",
+            f"  apps fuzzed:         {len({a.package for a in self.apps})}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""The Android Wear layer over the base Android substrate.
+
+Pairing, the MessageAPI/DataAPI transport, ambient mode, the Google Fit
+service, watch-face complications, and the wear UI widgets (including the
+deprecated ``GridViewPager`` whose divide-by-zero defect the paper caught).
+"""
+
+from repro.wear.ambient import AmbientService, DisplayState
+from repro.wear.companion import (
+    CompanionApp,
+    CompanionStats,
+    CompanionStudyResult,
+    WearSyncPublisher,
+    run_companion_study,
+)
+from repro.wear.complications import (
+    ACTION_ALL_APP,
+    EXTRA_PROVIDER_INFO,
+    ComplicationManager,
+    ComplicationProviderInfo,
+    ComplicationType,
+    provider_info_from_intent,
+)
+from repro.wear.device import PhoneDevice, WearDevice, pair
+from repro.wear.fit import (
+    DATA_TYPE_HEART_RATE,
+    DATA_TYPE_STEP_COUNT,
+    DataPoint,
+    FitSession,
+    GoogleFitClient,
+    GoogleFitService,
+)
+from repro.wear.node import (
+    BluetoothLink,
+    DataClient,
+    DataItem,
+    MessageClient,
+    MessageEvent,
+    NodeId,
+    WearableNode,
+)
+from repro.wear.ui_widgets import (
+    GridPagerAdapter,
+    GridViewPager,
+    Notification,
+    NotificationStream,
+    WatchFace,
+)
+
+__all__ = [
+    "ACTION_ALL_APP",
+    "AmbientService",
+    "BluetoothLink",
+    "CompanionApp",
+    "CompanionStats",
+    "CompanionStudyResult",
+    "ComplicationManager",
+    "ComplicationProviderInfo",
+    "ComplicationType",
+    "DATA_TYPE_HEART_RATE",
+    "DATA_TYPE_STEP_COUNT",
+    "DataClient",
+    "DataItem",
+    "DataPoint",
+    "DisplayState",
+    "EXTRA_PROVIDER_INFO",
+    "FitSession",
+    "GoogleFitClient",
+    "GoogleFitService",
+    "GridPagerAdapter",
+    "GridViewPager",
+    "MessageClient",
+    "MessageEvent",
+    "NodeId",
+    "Notification",
+    "NotificationStream",
+    "PhoneDevice",
+    "WatchFace",
+    "WearDevice",
+    "WearSyncPublisher",
+    "WearableNode",
+    "run_companion_study",
+    "pair",
+    "provider_info_from_intent",
+]

@@ -1,0 +1,93 @@
+"""Ambient mode: the always-on low-power display service.
+
+The second reboot the paper observed ran through this service:
+
+    "The application crashed several times due to the inability to start the
+    activity that prevented it from binding to the Ambient Service, a core
+    AW service to control low-power ambient mode.  Then, the system sent a
+    SIGSEGV, which caused segmentation fault of the system process, that
+    eventually ended up rebooting the device."
+
+The escalation itself (crash-loop → bind starvation → SIGSEGV → reboot)
+lives in :class:`repro.android.system_server.SystemServer`; this module is
+the service being starved: it tracks which packages are *expected* to bind
+(watch faces and always-on apps declare ``AmbientModeSupport``), manages the
+ambient/interactive state machine, and surfaces bind bookkeeping that the
+experiments and tests can assert on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from repro.android.jtypes import IllegalStateException
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.wear.device import WearDevice
+
+#: Default interactive-to-ambient timeout on Wear 2.0.
+AMBIENT_TIMEOUT_MS = 15_000.0
+
+
+class DisplayState(enum.Enum):
+    INTERACTIVE = "interactive"
+    AMBIENT = "ambient"
+    OFF = "off"
+
+
+class AmbientService:
+    """``com.google.android.clockwork`` ambient controller."""
+
+    def __init__(self, device: "WearDevice") -> None:
+        self._device = device
+        self.state = DisplayState.INTERACTIVE
+        self._bound_packages: Set[str] = set()
+        self._expected_binders: Set[str] = set()
+        self.bind_count: Dict[str, int] = {}
+        self.transitions: List[DisplayState] = []
+
+    # -- expected binders -----------------------------------------------------
+    def expect_binder(self, package: str) -> None:
+        """Declare that *package* supports ambient mode (binds this service).
+
+        Registration is forwarded to the system server so its health model
+        knows which crash-loops starve ambient binding.
+        """
+        self._expected_binders.add(package)
+        self._device.system_server.register_ambient_binder(package)
+
+    def expected_binders(self) -> Set[str]:
+        return set(self._expected_binders)
+
+    # -- binding ------------------------------------------------------------------
+    def bind(self, package: str) -> None:
+        """An app successfully bound for ambient callbacks."""
+        self._bound_packages.add(package)
+        self.bind_count[package] = self.bind_count.get(package, 0) + 1
+
+    def unbind(self, package: str) -> None:
+        if package not in self._bound_packages:
+            raise IllegalStateException(f"{package} is not bound to AmbientService")
+        self._bound_packages.discard(package)
+
+    def is_bound(self, package: str) -> bool:
+        return package in self._bound_packages
+
+    # -- display state machine ----------------------------------------------------
+    def enter_ambient(self) -> None:
+        if self.state == DisplayState.AMBIENT:
+            raise IllegalStateException("already in ambient mode")
+        self.state = DisplayState.AMBIENT
+        self.transitions.append(self.state)
+
+    def exit_ambient(self) -> None:
+        if self.state != DisplayState.AMBIENT:
+            raise IllegalStateException(f"not in ambient mode (state={self.state.value})")
+        self.state = DisplayState.INTERACTIVE
+        self.transitions.append(self.state)
+
+    def reset(self) -> None:
+        """Post-reboot reset; expected binders survive, bindings do not."""
+        self.state = DisplayState.INTERACTIVE
+        self._bound_packages.clear()

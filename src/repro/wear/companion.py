@@ -1,0 +1,218 @@
+"""Two-part apps: wearable components with phone-side companions.
+
+The paper's second threat to validity: "while most AW apps are two-part,
+with a mobile device and a wearable component, we have ignored the
+inter-device interactions and focused only on the wearable components.
+Our future work will focus on addressing these concerns."
+
+This module is that future work.  It models the standard two-part pattern:
+
+* the **wear side** publishes state snapshots over the DataAPI from a sync
+  service (:class:`WearSyncPublisher`) -- and, crucially, a crash of the
+  publishing process can leave a *partial snapshot* behind, exactly the way
+  a real app dying mid-`putDataItem` ships a half-built data map;
+* the **phone side** (:class:`CompanionApp`) listens on the app's data path
+  and consumes snapshots with its own input-validation quality -- a robust
+  companion rejects malformed snapshots and logs, a fragile one
+  dereferences the missing field and crashes *on the phone*.
+
+:func:`run_companion_study` then measures cross-device error propagation:
+fuzz the wearable side with QGJ while the companions listen, and count how
+many phone-side failures the watch-side corruption caused.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.android.jtypes import NullPointerException, frame
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import FuzzConfig, FuzzerLibrary
+from repro.wear.device import PhoneDevice, WearDevice
+from repro.wear.node import DataClient, DataItem
+
+#: DataAPI path prefix used by companion links.
+COMPANION_PATH_PREFIX = "/companion/"
+
+#: Snapshot fields every well-formed update carries.
+REQUIRED_FIELDS = ("sequence", "status", "payload")
+
+
+def companion_path(wear_package: str) -> str:
+    return COMPANION_PATH_PREFIX + wear_package
+
+
+class WearSyncPublisher:
+    """Wear-side DataAPI publisher tied to one app's process health.
+
+    Publishes a monotonically numbered snapshot per call.  If the app's
+    process died since the last publish (QGJ crashed it), the next snapshot
+    is *partial*: the crash interrupted serialisation, so a required field
+    is missing -- the cross-device corruption vector.
+    """
+
+    def __init__(self, watch: WearDevice, wear_package: str) -> None:
+        self._watch = watch
+        self.wear_package = wear_package
+        self._data_client = DataClient(watch.node)
+        self._sequence = 0
+        self._crashes_total = 0
+        self._crashes_seen = 0
+        # Observe our own process's deaths through the activity manager's
+        # health hooks (the same channel the system server uses).
+        watch.activity_manager.add_health_hooks(self)
+
+    # -- SystemHealthHooks protocol -------------------------------------------
+    def on_app_crash(self, process, info, throwable) -> None:
+        if info.package == self.wear_package:
+            self._crashes_total += 1
+
+    def on_app_anr(self, process, info, reason) -> None:
+        """ANRs stall the publisher but do not corrupt snapshots."""
+
+    def on_start_failure(self, info, throwable) -> None:
+        """Start failures never reach the publisher."""
+
+    def publish(self) -> Dict[str, object]:
+        """Publish the next snapshot; returns what was sent."""
+        self._sequence += 1
+        snapshot: Dict[str, object] = {
+            "sequence": self._sequence,
+            "status": "ok",
+            "payload": f"steps={100 * self._sequence}",
+        }
+        if self._crashes_total > self._crashes_seen:
+            # The publisher process died mid-cycle; the snapshot that makes
+            # it out is truncated.
+            self._crashes_seen = self._crashes_total
+            snapshot.pop("payload")
+            snapshot["status"] = None
+        self._data_client.put_data_item(companion_path(self.wear_package), snapshot)
+        return snapshot
+
+
+@dataclasses.dataclass
+class CompanionStats:
+    """Phone-side accounting for one companion app."""
+
+    wear_package: str
+    snapshots_received: int = 0
+    malformed_received: int = 0
+    handled_rejections: int = 0
+    crashes: int = 0
+
+
+class CompanionApp:
+    """The phone-side half of a two-part app.
+
+    ``robust=True`` validates snapshots and logs rejects; ``robust=False``
+    dereferences fields unconditionally and dies on partial snapshots --
+    the propagation failure mode the paper's future work asks about.
+    """
+
+    def __init__(self, phone: PhoneDevice, wear_package: str, robust: bool = True) -> None:
+        self.phone = phone
+        self.stats = CompanionStats(wear_package=wear_package)
+        self.robust = robust
+        self._package = wear_package + ".companion"
+        phone.node.add_data_listener(companion_path(wear_package), self._on_data)
+
+    def _on_data(self, item: DataItem) -> None:
+        self.stats.snapshots_received += 1
+        missing = [field for field in REQUIRED_FIELDS if item.data.get(field) is None]
+        if not missing:
+            return
+        self.stats.malformed_received += 1
+        exc = NullPointerException(
+            f"snapshot field {missing[0]!r} was null (partial sync from watch)"
+        )
+        exc.frames = [frame(self._package + ".SyncReceiver", "onDataChanged", 58)]
+        if self.robust:
+            self.stats.handled_rejections += 1
+            self.phone.logcat.handled_exception(
+                "Companion", 0, exc, context="rejected partial snapshot"
+            )
+            return
+        self.stats.crashes += 1
+        self.phone.logcat.fatal_exception(self._package, 0, exc)
+
+
+@dataclasses.dataclass
+class CompanionStudyResult:
+    """Outcome of one cross-device propagation experiment."""
+
+    stats: List[CompanionStats]
+    wear_crashes: int
+
+    @property
+    def phone_crashes(self) -> int:
+        return sum(s.crashes for s in self.stats)
+
+    @property
+    def malformed_snapshots(self) -> int:
+        return sum(s.malformed_received for s in self.stats)
+
+    @property
+    def propagation_rate(self) -> float:
+        """Fraction of watch-side crashes that corrupted a phone snapshot."""
+        if self.wear_crashes == 0:
+            return 0.0
+        return self.malformed_snapshots / self.wear_crashes
+
+    def render(self) -> str:
+        lines = [
+            "CROSS-DEVICE PROPAGATION STUDY",
+            "-" * 60,
+            f"watch-side crashes during fuzzing: {self.wear_crashes}",
+            f"partial snapshots reaching the phone: {self.malformed_snapshots}",
+            f"phone-side companion crashes: {self.phone_crashes}",
+            f"crash -> corrupt-sync propagation rate: {self.propagation_rate:.1%}",
+        ]
+        for stats in self.stats:
+            lines.append(
+                f"  {stats.wear_package}: {stats.snapshots_received} snapshots, "
+                f"{stats.malformed_received} malformed, "
+                f"{stats.handled_rejections} rejected, {stats.crashes} crashes"
+            )
+        return "\n".join(lines)
+
+
+def run_companion_study(
+    watch: WearDevice,
+    phone: PhoneDevice,
+    wear_packages: Sequence[str],
+    robust_companions: bool = True,
+    campaign: Campaign = Campaign.B,
+    config: Optional[FuzzConfig] = None,
+    publish_every: int = 25,
+) -> CompanionStudyResult:
+    """Fuzz the wear side while phone companions consume the sync stream.
+
+    Interleaves QGJ injections with periodic DataAPI publishes (real
+    two-part apps sync on a timer), so watch-side crashes genuinely race
+    with synchronisation.
+    """
+    if config is None:
+        config = FuzzConfig(max_intents_per_component=publish_every * 4)
+    publishers = [WearSyncPublisher(watch, package) for package in wear_packages]
+    companions = [
+        CompanionApp(phone, package, robust=robust_companions)
+        for package in wear_packages
+    ]
+    fuzzer = FuzzerLibrary(watch)
+    wear_crashes = 0
+    for publisher in publishers:
+        package_info = watch.packages.get_package(publisher.wear_package)
+        if package_info is None:
+            raise ValueError(f"not installed on watch: {publisher.wear_package}")
+        for component in package_info.components:
+            result = fuzzer.fuzz_component(component, campaign, config)
+            wear_crashes += result.crashes_seen
+            publisher.publish()
+            if result.rebooted:
+                break
+    return CompanionStudyResult(
+        stats=[companion.stats for companion in companions],
+        wear_crashes=wear_crashes,
+    )

@@ -1,0 +1,115 @@
+"""Watch-face complications: the provider protocol.
+
+One of the paper's concrete crash case studies runs through this protocol:
+
+    "Google Fit, a core AW component, reported a crash because an intent
+    ``{act=ACTION_ALL_APP}`` was sent without the expected message
+    (Complication Provider)."
+
+A *complication* is a small data window on a watch face (step count, heart
+rate, date).  Providers are services; the watch face requests data with an
+intent that must carry a ``ComplicationProviderInfo`` extra.  This module
+defines that contract -- the extra key, the provider info record, the
+supported data types, and the validation helper whose *absence* in Google
+Fit's handler is exactly the bug the paper caught.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from repro.android.intent import ComponentName, Intent
+from repro.android.jtypes import IllegalArgumentException
+
+#: The extra key a complication request must carry.
+EXTRA_PROVIDER_INFO = "android.support.wearable.complications.EXTRA_PROVIDER_INFO"
+
+#: The action the Google Fit crash was triggered through.
+ACTION_ALL_APP = "vnd.google.fitness.ACTION_ALL_APP"
+
+
+class ComplicationType(enum.Enum):
+    SHORT_TEXT = 3
+    LONG_TEXT = 4
+    RANGED_VALUE = 5
+    ICON = 6
+    SMALL_IMAGE = 7
+
+
+@dataclasses.dataclass(frozen=True)
+class ComplicationProviderInfo:
+    """Identity + capability record for one provider service."""
+
+    provider: ComponentName
+    supported_types: tuple
+
+    def supports(self, complication_type: ComplicationType) -> bool:
+        return complication_type in self.supported_types
+
+    def to_extra(self) -> Dict[str, object]:
+        """Serialise for transport in an intent extra."""
+        return {
+            "provider": self.provider.flatten_to_string(),
+            "types": tuple(t.value for t in self.supported_types),
+        }
+
+    @staticmethod
+    def from_extra(value: object) -> "ComplicationProviderInfo":
+        """Deserialise; raises ``IllegalArgumentException`` on malformed input."""
+        if not isinstance(value, dict):
+            raise IllegalArgumentException(
+                f"EXTRA_PROVIDER_INFO must be a bundle, got {type(value).__name__}"
+            )
+        provider = value.get("provider")
+        types = value.get("types")
+        if not isinstance(provider, str) or "/" not in provider:
+            raise IllegalArgumentException(f"bad provider component: {provider!r}")
+        if not isinstance(types, (tuple, list)) or not types:
+            raise IllegalArgumentException(f"bad provider types: {types!r}")
+        decoded = []
+        for t in types:
+            try:
+                decoded.append(ComplicationType(t))
+            except ValueError:
+                raise IllegalArgumentException(f"unknown complication type: {t!r}")
+        return ComplicationProviderInfo(
+            provider=ComponentName.parse(provider),
+            supported_types=tuple(decoded),
+        )
+
+
+def provider_info_from_intent(intent: Intent) -> Optional[ComplicationProviderInfo]:
+    """Extract and validate the provider info extra, or ``None`` if absent.
+
+    This is the *defensive* pattern Google Fit's handler should have used:
+    check for absence, then validate.  Its real handler dereferenced the
+    missing extra instead -- see
+    :class:`repro.apps.builtin.GoogleFitActivity`.
+    """
+    if not intent.has_extra(EXTRA_PROVIDER_INFO):
+        return None
+    return ComplicationProviderInfo.from_extra(intent.get_extra(EXTRA_PROVIDER_INFO))
+
+
+class ComplicationManager:
+    """Registry of complication providers on the watch."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, ComplicationProviderInfo] = {}
+
+    def register(self, info: ComplicationProviderInfo) -> None:
+        self._providers[info.provider.flatten_to_string()] = info
+
+    def unregister(self, provider: ComponentName) -> None:
+        self._providers.pop(provider.flatten_to_string(), None)
+
+    def provider_for(self, provider: ComponentName) -> Optional[ComplicationProviderInfo]:
+        return self._providers.get(provider.flatten_to_string())
+
+    def providers_supporting(self, complication_type: ComplicationType) -> List[ComplicationProviderInfo]:
+        return [p for p in self._providers.values() if p.supports(complication_type)]
+
+    def __len__(self) -> int:
+        return len(self._providers)

@@ -1,0 +1,196 @@
+"""The Google Fit API service.
+
+The paper's health/fitness category is defined by this dependency:
+
+    "In most cases, these apps interact with the Google Fit API to access
+    the sensors.  This dependency could mean that Health/Fitness apps are
+    susceptible to propagation errors from the Google Fit API, a hypothesis
+    that we verify through our experiments."
+
+This module is that propagation channel.  ``GoogleFitService`` sits between
+health apps and the native :class:`~repro.android.sensor.SensorService`:
+
+* apps open recording *sessions* (with the real API's state rules --
+  starting a started session raises ``IllegalStateException``);
+* reads subscribe through the sensor service, so a dead sensor service
+  surfaces to every Fit client as ``DeadObjectException``;
+* history queries validate their arguments the way the real client library
+  does (nulls → NPE, bad ranges → IAE).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.android.clock import Clock
+from repro.android.jtypes import (
+    DeadObjectException,
+    IllegalArgumentException,
+    IllegalStateException,
+    NullPointerException,
+)
+from repro.android.sensor import (
+    TYPE_HEART_RATE,
+    TYPE_STEP_COUNTER,
+    SensorService,
+)
+
+#: Fitness data types (subset of the Fit API's).
+DATA_TYPE_STEP_COUNT = "com.google.step_count.delta"
+DATA_TYPE_HEART_RATE = "com.google.heart_rate.bpm"
+DATA_TYPE_CALORIES = "com.google.calories.expended"
+DATA_TYPE_DISTANCE = "com.google.distance.delta"
+
+ALL_DATA_TYPES = (
+    DATA_TYPE_STEP_COUNT,
+    DATA_TYPE_HEART_RATE,
+    DATA_TYPE_CALORIES,
+    DATA_TYPE_DISTANCE,
+)
+
+_SENSOR_BACKED = {
+    DATA_TYPE_STEP_COUNT: TYPE_STEP_COUNTER,
+    DATA_TYPE_HEART_RATE: TYPE_HEART_RATE,
+}
+
+
+@dataclasses.dataclass
+class FitSession:
+    """One workout recording session."""
+
+    session_id: str
+    package: str
+    activity_type: str
+    start_ms: float
+    end_ms: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.end_ms is None
+
+
+@dataclasses.dataclass(frozen=True)
+class DataPoint:
+    data_type: str
+    time_ms: float
+    value: float
+
+
+class GoogleFitService:
+    """The device-wide Fit service (``context.get_system_service("fit")``
+    hands apps a per-package :class:`GoogleFitClient` view of it)."""
+
+    def __init__(self, clock: Clock, sensor_service: SensorService) -> None:
+        self._clock = clock
+        self._sensors = sensor_service
+        self._sessions: Dict[str, FitSession] = {}
+        self._history: List[DataPoint] = []
+        self._session_seq = 0
+
+    # -- sessions -----------------------------------------------------------------
+    def start_session(self, package: str, activity_type: Optional[str]) -> FitSession:
+        if activity_type is None:
+            raise NullPointerException("activityType == null")
+        if not activity_type:
+            raise IllegalArgumentException("activityType must not be empty")
+        existing = self._active_session_of(package)
+        if existing is not None:
+            raise IllegalStateException(
+                f"session {existing.session_id} already started for {package}"
+            )
+        self._ensure_sensors()
+        self._session_seq += 1
+        session = FitSession(
+            session_id=f"fit-session-{self._session_seq}",
+            package=package,
+            activity_type=activity_type,
+            start_ms=self._clock.now_ms(),
+        )
+        self._sessions[session.session_id] = session
+        return session
+
+    def stop_session(self, package: str) -> FitSession:
+        session = self._active_session_of(package)
+        if session is None:
+            raise IllegalStateException(f"no active session for {package}")
+        session.end_ms = self._clock.now_ms()
+        return session
+
+    def _active_session_of(self, package: str) -> Optional[FitSession]:
+        for session in self._sessions.values():
+            if session.package == package and session.active:
+                return session
+        return None
+
+    def sessions_of(self, package: str) -> List[FitSession]:
+        return [s for s in self._sessions.values() if s.package == package]
+
+    # -- recording / history --------------------------------------------------------
+    def subscribe(self, package: str, data_type: str) -> None:
+        """Subscribe to live recording of *data_type*."""
+        if data_type is None:
+            raise NullPointerException("dataType == null")
+        if data_type not in ALL_DATA_TYPES:
+            raise IllegalArgumentException(f"unknown data type: {data_type}")
+        sensor_type = _SENSOR_BACKED.get(data_type)
+        if sensor_type is not None:
+            self._ensure_sensors()
+            self._sensors.register_listener(package, sensor_type)
+
+    def insert(self, point: DataPoint) -> None:
+        if point.data_type not in ALL_DATA_TYPES:
+            raise IllegalArgumentException(f"unknown data type: {point.data_type}")
+        self._history.append(point)
+
+    def read_history(
+        self, data_type: str, start_ms: float, end_ms: float
+    ) -> List[DataPoint]:
+        if data_type is None:
+            raise NullPointerException("dataType == null")
+        if data_type not in ALL_DATA_TYPES:
+            raise IllegalArgumentException(f"unknown data type: {data_type}")
+        if end_ms < start_ms:
+            raise IllegalArgumentException(
+                f"invalid time range: end {end_ms} < start {start_ms}"
+            )
+        return [
+            p
+            for p in self._history
+            if p.data_type == data_type and start_ms <= p.time_ms <= end_ms
+        ]
+
+    # -- propagation --------------------------------------------------------------
+    def _ensure_sensors(self) -> None:
+        if not self._sensors.alive:
+            raise DeadObjectException(
+                "Google Fit lost its connection to SensorService"
+            )
+
+    def reset(self) -> None:
+        """Post-reboot reset (history persists, sessions do not)."""
+        for session in self._sessions.values():
+            if session.active:
+                session.end_ms = self._clock.now_ms()
+
+
+class GoogleFitClient:
+    """Per-package facade over :class:`GoogleFitService`."""
+
+    def __init__(self, service: GoogleFitService, package: str) -> None:
+        self._service = service
+        self._package = package
+
+    def start_session(self, activity_type: Optional[str]) -> FitSession:
+        return self._service.start_session(self._package, activity_type)
+
+    def stop_session(self) -> FitSession:
+        return self._service.stop_session(self._package)
+
+    def subscribe(self, data_type: str) -> None:
+        self._service.subscribe(self._package, data_type)
+
+    def read_daily_steps(self) -> int:
+        now = self._service._clock.now_ms()
+        points = self._service.read_history(DATA_TYPE_STEP_COUNT, now - 86_400_000, now)
+        return int(sum(p.value for p in points))

@@ -1,0 +1,156 @@
+"""Wear UI widgets, including the deprecated ``GridViewPager``.
+
+The paper highlights one crash worth its own subsection:
+
+    "a crash due to ArithmeticException is worth highlighting […] a 'divide
+    by zero' operation was reported on an AW class GridViewPager.  This
+    Layout Manager class, which allows navigation in both axes, was
+    deprecated in AW 2.0 […] This finding indicates the presence of errors
+    in Android Wear ecosystem due to the lack of migration to the AW 2.0
+    specification of some applications."
+
+:class:`GridViewPager` reproduces that defect mechanically: page geometry is
+computed with integer division by the adapter's column count, and an adapter
+that reports zero columns for a row -- which happens when a malformed intent
+leaves the backing data unpopulated -- divides by zero.
+
+The module also carries the notification stream and a minimal watch face,
+because Wear's UI is "centered on notifications [and] watch faces".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from repro.android.jtypes import (
+    ArithmeticException,
+    IndexOutOfBoundsException,
+    NullPointerException,
+    frame,
+)
+
+
+class GridPagerAdapter:
+    """Adapter feeding a :class:`GridViewPager` its 2-D page grid."""
+
+    def __init__(self, pages: List[List[str]]) -> None:
+        self._pages = pages
+
+    def row_count(self) -> int:
+        return len(self._pages)
+
+    def column_count(self, row: int) -> int:
+        if not 0 <= row < len(self._pages):
+            raise IndexOutOfBoundsException(f"row {row} out of {len(self._pages)}")
+        return len(self._pages[row])
+
+    def page(self, row: int, column: int) -> str:
+        columns = self.column_count(row)
+        if not 0 <= column < columns:
+            raise IndexOutOfBoundsException(f"column {column} out of {columns}")
+        return self._pages[row][column]
+
+
+class GridViewPager:
+    """Deprecated 2-axis pager (AW 1.x), kept for un-migrated apps.
+
+    Instantiating it emits a ``DeprecationWarning`` mirroring the AW 2.0
+    deprecation notice; using it with an adapter that reports zero columns
+    raises ``java.lang.ArithmeticException: divide by zero`` with the frame
+    inside the support library, matching the study's observed crash.
+    """
+
+    def __init__(self, adapter: Optional[GridPagerAdapter]) -> None:
+        warnings.warn(
+            "GridViewPager was deprecated in Android Wear 2.0; "
+            "horizontal paging is not encouraged anymore",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if adapter is None:
+            raise NullPointerException("adapter == null")
+        self._adapter = adapter
+        self.current_row = 0
+        self.current_column = 0
+
+    def page_for_scroll_offset(self, row: int, scroll_offset_px: int, page_width_px: int = 320) -> str:
+        """Map a horizontal scroll offset to a page -- the divide-by-zero site."""
+        columns = self._adapter.column_count(row)
+        # Faithful to the defect: no zero-guard before the modulo.
+        try:
+            column = (scroll_offset_px // page_width_px) % columns
+        except ZeroDivisionError:
+            exc = ArithmeticException("divide by zero")
+            exc.frames = [
+                frame(
+                    "android.support.wearable.view.GridViewPager",
+                    "pageForScrollOffset",
+                    1093,
+                ),
+            ]
+            raise exc
+        return self._adapter.page(row, column)
+
+    def set_current_item(self, row: int, column: int) -> str:
+        page = self._adapter.page(row, column)
+        self.current_row = row
+        self.current_column = column
+        return page
+
+
+@dataclasses.dataclass
+class Notification:
+    """One entry in the wearable notification stream."""
+
+    package: str
+    title: str
+    text: str
+    ongoing: bool = False
+
+
+class NotificationStream:
+    """The stream UI: post, dismiss, and enumerate notifications."""
+
+    def __init__(self) -> None:
+        self._notifications: Dict[Tuple[str, str], Notification] = {}
+
+    def post(self, notification: Notification) -> None:
+        if notification.title is None:
+            raise NullPointerException("notification title == null")
+        self._notifications[(notification.package, notification.title)] = notification
+
+    def dismiss(self, package: str, title: str) -> bool:
+        return self._notifications.pop((package, title), None) is not None
+
+    def dismiss_all(self, package: str) -> int:
+        keys = [k for k in self._notifications if k[0] == package]
+        for key in keys:
+            del self._notifications[key]
+        return len(keys)
+
+    def active(self) -> List[Notification]:
+        return list(self._notifications.values())
+
+    def __len__(self) -> int:
+        return len(self._notifications)
+
+
+class WatchFace:
+    """A minimal watch face that renders complications."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._complication_values: Dict[int, str] = {}
+
+    def update_complication(self, slot: int, value: Optional[str]) -> None:
+        if value is None:
+            raise NullPointerException(f"complication value for slot {slot} == null")
+        self._complication_values[slot] = value
+
+    def render(self, time_text: str) -> str:
+        slots = " ".join(
+            f"[{slot}:{value}]" for slot, value in sorted(self._complication_values.items())
+        )
+        return f"{self.name} {time_text} {slots}".strip()

@@ -1,0 +1,145 @@
+"""Tests for the longitudinal cross-study comparison."""
+
+import pytest
+
+from repro.analysis.compare import (
+    JJB_2012_BASELINE,
+    ComparisonVerdict,
+    crash_share_distribution,
+    evolution_table,
+    render_evolution,
+    verdict,
+)
+from repro.analysis.manifest import StudyCollector
+from repro.android.component import ComponentInfo, ComponentKind
+from repro.android.intent import ComponentName
+from repro.android.package_manager import AppCategory, AppOrigin, PackageInfo
+
+
+def collector_with_crashes(class_counts):
+    components = []
+    index = 0
+    for _cls, count in class_counts.items():
+        for _ in range(count):
+            components.append(
+                ComponentInfo(
+                    name=ComponentName("com.a", f"com.a.C{index}"),
+                    kind=ComponentKind.ACTIVITY,
+                )
+            )
+            index += 1
+    package = PackageInfo(
+        package="com.a",
+        label="A",
+        category=AppCategory.OTHER,
+        origin=AppOrigin.THIRD_PARTY,
+        components=components,
+    )
+    collector = StudyCollector([package])
+    index = 0
+    for cls, count in class_counts.items():
+        for _ in range(count):
+            record = collector.record_for(f"com.a/com.a.C{index}")
+            record.fatal_root_classes[cls] += 1
+            index += 1
+    return collector
+
+
+NPE = "java.lang.NullPointerException"
+ISE = "java.lang.IllegalStateException"
+CNFE = "java.lang.ClassNotFoundException"
+IAE = "java.lang.IllegalArgumentException"
+
+
+class TestBaseline:
+    def test_baseline_headline(self):
+        # The paper quotes 46% NPE for the 2012 study.
+        assert JJB_2012_BASELINE[NPE] == pytest.approx(0.46)
+
+    def test_baseline_normalised(self):
+        assert sum(JJB_2012_BASELINE.values()) == pytest.approx(1.0)
+
+
+class TestDistribution:
+    def test_share_distribution(self):
+        collector = collector_with_crashes({NPE: 3, ISE: 1})
+        shares = crash_share_distribution(collector)
+        assert shares[NPE] == pytest.approx(0.75)
+        assert shares[ISE] == pytest.approx(0.25)
+
+    def test_empty_collector(self):
+        collector = collector_with_crashes({})
+        assert crash_share_distribution(collector) == {}
+
+
+class TestEvolution:
+    def _studies(self):
+        wear = collector_with_crashes({NPE: 30, IAE: 25, ISE: 20, CNFE: 5})
+        phone = collector_with_crashes({NPE: 31, CNFE: 26, IAE: 18, ISE: 6})
+        return wear, phone
+
+    def test_table_rows(self):
+        wear, phone = self._studies()
+        rows = evolution_table(wear, phone)
+        by_class = {row.exception: row for row in rows}
+        assert by_class[NPE].android_2012 == pytest.approx(0.46)
+        assert by_class[NPE].wear_20 == pytest.approx(30 / 80)
+        assert by_class[NPE].trend_2012_to_wear == "shrank"
+        assert by_class[ISE].trend_2012_to_wear == "grew"
+
+    def test_verdict_holds_on_paper_shaped_data(self):
+        wear, phone = self._studies()
+        result = verdict(wear, phone)
+        assert isinstance(result, ComparisonVerdict)
+        assert result.npe_shrank_since_2012
+        assert result.ise_grew_on_wear
+        assert result.cnfe_phone_heavy
+        assert result.all_hold()
+
+    def test_verdict_fails_on_inverted_data(self):
+        wear = collector_with_crashes({NPE: 60, ISE: 1})
+        phone = collector_with_crashes({NPE: 10, ISE: 10})
+        result = verdict(wear, phone)
+        assert not result.npe_shrank_since_2012
+        assert not result.all_hold()
+
+    def test_render(self):
+        wear, phone = self._studies()
+        text = render_evolution(evolution_table(wear, phone))
+        assert "2012" in text and "Wear" in text
+        assert "NullPointerException" in text
+        assert "shrank" in text
+
+
+class TestVerdictOnRealStudies:
+    def test_real_quick_studies_support_the_conclusion(self):
+        """The paper's longitudinal claims hold on the actual pipeline."""
+        from repro.experiments.config import QUICK
+        from repro.experiments.phone_experiment import run_phone_study
+        from repro.experiments.wear_experiment import run_wear_study
+
+        wear = run_wear_study(
+            QUICK,
+            packages=[
+                "com.google.android.apps.fitness",
+                "com.motorola.omega.body",
+                "com.runmate.wear",
+                "com.fitband.wear",
+                "com.chatterbox.wear",
+                "com.skycast.wear",
+            ],
+        )
+        phone = run_phone_study(
+            QUICK,
+            packages=[
+                "com.android.chrome",
+                "com.android.settings",
+                "com.android.mms",
+                "com.android.email",
+                "com.android.calendar",
+                "com.android.camera",
+            ],
+        )
+        result = verdict(wear.collector, phone.collector)
+        assert result.npe_shrank_since_2012
+        assert result.ise_grew_on_wear

@@ -1,0 +1,50 @@
+"""Tests for the JSON export of study results."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import SCHEMA_VERSION, assert_json_safe, dump_json, export_results
+from repro.experiments.config import QUICK
+from repro.experiments.phone_experiment import run_phone_study
+from repro.experiments.ui_experiment import run_ui_study
+from repro.experiments.wear_experiment import run_wear_study
+from repro.qgj.fuzzer import FuzzConfig
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    wear = run_wear_study(QUICK, packages=["com.pulsetrack.wear", "com.motorola.omega.body"])
+    phone = run_phone_study(QUICK, packages=["com.android.chrome"])
+    ui = run_ui_study(ExperimentConfig(name="tiny", fuzz=FuzzConfig(), ui_events=600))
+    return export_results(wear, phone, ui)
+
+
+class TestExport:
+    def test_schema_and_round_trip(self, exported):
+        assert exported["schema_version"] == SCHEMA_VERSION
+        assert_json_safe(exported)
+        round_tripped = json.loads(json.dumps(exported))
+        assert round_tripped["totals"]["wear_reboots"] == 1
+
+    def test_sections_present(self, exported):
+        for key in (
+            "table1_campaigns", "table2_population", "table3_behaviors",
+            "table4_phone_crashes", "table5_ui", "fig2_exceptions",
+            "fig3a_manifestations", "fig3b_rootcause", "fig4_app_class",
+            "reboot_postmortems",
+        ):
+            assert key in exported, key
+
+    def test_postmortem_serialised(self, exported):
+        postmortems = exported["reboot_postmortems"]
+        assert len(postmortems) == 1
+        assert postmortems[0]["campaign"] == "A"
+        assert postmortems[0]["native_signal"] == "SIGABRT"
+
+    def test_dump_to_file(self, exported, tmp_path):
+        path = tmp_path / "results.json"
+        text = dump_json(exported, path=str(path))
+        assert path.exists()
+        assert json.loads(path.read_text()) == json.loads(text)

@@ -1,0 +1,196 @@
+"""Tests for the logcat parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.logparse import (
+    AnrEvent,
+    FatalExceptionEvent,
+    HandledExceptionEvent,
+    NativeSignalEvent,
+    RebootEvent,
+    SecurityDenialEvent,
+    attach_handled_frames,
+    parse_events,
+    parse_lines,
+)
+from repro.android.clock import Clock
+from repro.android.jtypes import (
+    IllegalArgumentException,
+    NullPointerException,
+    RuntimeException,
+    frame,
+    sigabrt,
+)
+from repro.android.log import Logcat
+
+
+@pytest.fixture()
+def logcat():
+    return Logcat(Clock())
+
+
+def events_of(logcat, kind=None):
+    events = parse_events(logcat.dump())
+    if kind is None:
+        return events
+    return [e for e in events if isinstance(e, kind)]
+
+
+class TestLineParsing:
+    def test_round_trip_basic_line(self, logcat):
+        logcat.i("MyTag", "hello world", pid=42)
+        lines = list(parse_lines(logcat.dump()))
+        assert len(lines) == 1
+        assert lines[0].tag == "MyTag"
+        assert lines[0].pid == 42
+        assert lines[0].message == "hello world"
+        assert lines[0].level == "I"
+
+    def test_time_round_trip(self):
+        clock = Clock()
+        logcat = Logcat(clock)
+        clock.sleep(3_723_456)  # 1h 2m 3.456s
+        logcat.i("T", "x")
+        line = next(parse_lines(logcat.dump()))
+        assert line.time_ms == pytest.approx(3_723_456)
+
+    def test_garbage_lines_skipped(self):
+        assert list(parse_lines("not a log line\n\nanother one")) == []
+
+    @given(st.text(max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_parser_total(self, text):
+        parse_events(text)  # must never raise
+
+
+class TestFatalBlocks:
+    def test_simple_fatal(self, logcat):
+        exc = NullPointerException("null deref")
+        exc.frames = [frame("com.a.MainActivity", "onCreate", 10)]
+        exc.with_frames(exc.frames, "activity")
+        logcat.fatal_exception("com.a", 77, exc)
+        events = events_of(logcat, FatalExceptionEvent)
+        assert len(events) == 1
+        event = events[0]
+        assert event.process == "com.a"
+        assert event.pid == 77
+        assert event.exception_chain == ["java.lang.NullPointerException"]
+        assert "com.a.MainActivity" in event.frames
+
+    def test_cause_chain_order(self, logcat):
+        inner = NullPointerException("inner")
+        inner.frames = [frame("com.a.Helper", "work", 5)]
+        outer = RuntimeException("Unable to start activity", cause=inner)
+        outer.frames = [frame("android.app.ActivityThread", "performLaunchActivity", 2778)]
+        logcat.fatal_exception("com.a", 5, outer)
+        event = events_of(logcat, FatalExceptionEvent)[0]
+        assert event.exception_chain == [
+            "java.lang.RuntimeException",
+            "java.lang.NullPointerException",
+        ]
+        assert event.outer_class == "java.lang.RuntimeException"
+        assert event.root_class == "java.lang.NullPointerException"
+
+    def test_two_fatal_blocks(self, logcat):
+        for i in range(2):
+            exc = NullPointerException(f"crash {i}")
+            exc.with_frames([frame("com.a.Main", "onCreate", 1)], "activity")
+            logcat.fatal_exception("com.a", 77, exc)
+        assert len(events_of(logcat, FatalExceptionEvent)) == 2
+
+    def test_fatal_messages_captured(self, logcat):
+        exc = IllegalArgumentException("bad uri scheme")
+        exc.with_frames([frame("com.a.Main", "onCreate", 1)], "activity")
+        logcat.fatal_exception("com.a", 1, exc)
+        event = events_of(logcat, FatalExceptionEvent)[0]
+        assert event.messages[0] == "bad uri scheme"
+
+
+class TestOtherEvents:
+    def test_anr(self, logcat):
+        logcat.anr("com.a", 5, "com.a/.Main", "blocked 9000ms")
+        events = events_of(logcat, AnrEvent)
+        assert len(events) == 1
+        assert events[0].process == "com.a"
+        assert events[0].component == "com.a/.Main"
+        assert events[0].reason == "blocked 9000ms"
+
+    def test_security_denial_with_component(self, logcat):
+        logcat.security_denial(
+            0, "broadcasting protected action X from com.qgj to com.a/.Main"
+        )
+        events = events_of(logcat, SecurityDenialEvent)
+        assert len(events) == 1
+        assert events[0].component == "com.a/com.a.Main"
+
+    def test_security_denial_with_cmp_string(self, logcat):
+        logcat.security_denial(
+            0,
+            "starting Intent { act=x cmp=com.a/.Main } from com.qgj not exported",
+        )
+        events = events_of(logcat, SecurityDenialEvent)
+        assert events[0].component == "com.a/com.a.Main"
+
+    def test_native_signal(self, logcat):
+        logcat.native_crash(sigabrt("/system/lib/libsensorservice.so", "wedged"), pid=3)
+        events = events_of(logcat, NativeSignalEvent)
+        assert len(events) == 1
+        assert events[0].signal == "SIGABRT"
+        assert events[0].number == 6
+        assert "libsensorservice" in events[0].process
+
+    def test_reboot_marker(self, logcat):
+        logcat.reboot_marker("aging collapse")
+        events = events_of(logcat, RebootEvent)
+        assert len(events) == 1
+        assert events[0].reason == "aging collapse"
+
+    def test_handled_exception(self, logcat):
+        exc = IllegalArgumentException("rejected")
+        exc.frames = [frame("com.a.SyncService", "validateIntent", 31)]
+        logcat.handled_exception("AppTag", 9, exc, context="rejected intent")
+        events = events_of(logcat, HandledExceptionEvent)
+        assert len(events) == 1
+        assert events[0].exception_class == "java.lang.IllegalArgumentException"
+
+    def test_attach_handled_frames(self, logcat):
+        exc = IllegalArgumentException("rejected")
+        exc.frames = [frame("com.a.SyncService", "validateIntent", 31)]
+        logcat.handled_exception("AppTag", 9, exc, context="rejected intent")
+        text = logcat.dump()
+        events = parse_events(text)
+        attach_handled_frames(text, events)
+        handled = [e for e in events if isinstance(e, HandledExceptionEvent)][0]
+        assert "com.a.SyncService" in handled.frames
+
+    def test_attach_frames_separates_same_class_blocks(self, logcat):
+        for cls_name in ("com.a.One", "com.a.Two"):
+            exc = IllegalArgumentException("rejected")
+            exc.frames = [frame(cls_name, "validate", 1)]
+            logcat.handled_exception("AppTag", 9, exc)
+        text = logcat.dump()
+        events = parse_events(text)
+        attach_handled_frames(text, events)
+        handled = [e for e in events if isinstance(e, HandledExceptionEvent)]
+        assert handled[0].frames[0] == "com.a.One"
+        assert handled[1].frames[0] == "com.a.Two"
+
+    def test_security_exception_in_warning_not_double_counted(self, logcat):
+        logcat.security_denial(0, "broadcasting protected action X to com.a/.Main")
+        events = events_of(logcat)
+        assert len([e for e in events if isinstance(e, SecurityDenialEvent)]) == 1
+        assert len([e for e in events if isinstance(e, HandledExceptionEvent)]) == 0
+
+
+class TestMixedStream:
+    def test_interleaved_events(self, logcat):
+        exc = NullPointerException("x")
+        exc.with_frames([frame("com.a.Main", "onCreate", 1)], "activity")
+        logcat.i("ActivityManager", "START u0 {Intent { act=a cmp=com.a/.Main }} from com.a")
+        logcat.fatal_exception("com.a", 7, exc)
+        logcat.anr("com.b", 8, "com.b/.Svc", "slow")
+        logcat.reboot_marker("test")
+        events = events_of(logcat)
+        kinds = [type(e).__name__ for e in events]
+        assert kinds == ["FatalExceptionEvent", "AnrEvent", "RebootEvent"]

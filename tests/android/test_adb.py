@@ -1,0 +1,230 @@
+"""Tests for the adb shell tools, including the paper's documented quirks."""
+
+import pytest
+
+from repro.android.component import Activity, ComponentInfo, ComponentKind
+from repro.android.device import Device
+from repro.android.intent import ComponentName, launcher_filter
+from repro.android.jtypes import NullPointerException, NumberFormatException, SecurityException
+from repro.android.package_manager import AppCategory, AppOrigin, PackageInfo
+
+
+@pytest.fixture
+def device():
+    dev = Device("phone")
+    main = ComponentInfo(
+        name=ComponentName("com.example.app", "com.example.app.MainActivity"),
+        kind=ComponentKind.ACTIVITY,
+        intent_filters=[launcher_filter()],
+    )
+    svc = ComponentInfo(
+        name=ComponentName("com.example.app", "com.example.app.SyncService"),
+        kind=ComponentKind.SERVICE,
+    )
+    dev.install(
+        PackageInfo(
+            package="com.example.app",
+            label="Example",
+            category=AppCategory.OTHER,
+            origin=AppOrigin.THIRD_PARTY,
+            components=[main, svc],
+        )
+    )
+    return dev
+
+
+class TestInputTool:
+    def test_tap_garbage_string_raises_handled_nfe(self, device):
+        # The paper: random ASCII where a coordinate belongs triggers an
+        # exception inside the tool, which handles it -- no app involvement.
+        result = device.adb.shell("input tap abc 42")
+        assert result.exit_code == 1
+        assert isinstance(result.tool_exception, NumberFormatException)
+        assert not result.reached_app
+        assert not result.caused_crash
+
+    def test_tap_absurd_but_parseable_coordinates_land_offscreen(self, device):
+        # The paper's example event: input tap -8803.85 4668.17
+        result = device.adb.shell("input tap -8803.85 4668.17")
+        assert result.ok
+        assert not result.reached_app
+
+    def test_tap_onscreen_reaches_foreground(self, device):
+        device.adb.shell("am start -n com.example.app/.MainActivity")
+        result = device.adb.shell("input tap 100 200")
+        assert result.ok and result.reached_app
+
+    def test_keyevent_valid(self, device):
+        assert device.adb.shell("input keyevent 4").ok  # BACK
+
+    def test_keyevent_garbage_raises_handled_nfe(self, device):
+        result = device.adb.shell("input keyevent KEYCODE_$@!")
+        assert result.exit_code == 1
+        assert isinstance(result.tool_exception, NumberFormatException)
+
+    def test_keyevent_out_of_table(self, device):
+        result = device.adb.shell("input keyevent 9999")
+        assert result.exit_code == 1
+        assert "Unknown keycode" in result.output
+
+    def test_text(self, device):
+        assert device.adb.shell("input text hello").ok
+
+    def test_swipe(self, device):
+        assert device.adb.shell("input swipe 0 0 100 100").ok
+
+    def test_trackball(self, device):
+        assert device.adb.shell("input trackball roll 3 4").ok
+
+    def test_usage_on_no_args(self, device):
+        result = device.adb.shell("input")
+        assert result.exit_code == 1
+        assert "Usage" in result.output
+
+
+class TestAmTool:
+    def test_start_explicit_component(self, device):
+        result = device.adb.shell("am start -n com.example.app/.MainActivity")
+        assert result.ok and result.reached_app
+        assert "Starting activity" in result.output
+
+    def test_bare_component_gets_main_launcher_filled_in(self, device):
+        # The documented am quirk (Section IV-D of the paper).
+        device.adb.shell("am start -n com.example.app/.MainActivity")
+        text = device.adb.logcat()
+        assert "act=android.intent.action.MAIN" in text
+        assert "cat=[android.intent.category.LAUNCHER]" in text
+
+    def test_am_forwards_random_action_strings(self, device):
+        # am performs no action validation -- the string reaches the app.
+        result = device.adb.shell(
+            "am start -a 'S0me.r@ndom.$trinG' -n com.example.app/.MainActivity"
+        )
+        assert result.ok and result.reached_app
+        assert "act=S0me.r@ndom.$trinG" in device.adb.logcat()
+
+    def test_unresolvable_activity(self, device):
+        result = device.adb.shell("am start -n com.nope/.Missing")
+        assert result.exit_code == 1
+        assert "unable to resolve Intent" in result.output
+
+    def test_security_exception_reported(self, device):
+        result = device.adb.shell(
+            "am start -a android.intent.action.BATTERY_LOW -n com.example.app/.MainActivity"
+        )
+        assert result.exit_code == 1
+        assert isinstance(result.tool_exception, SecurityException)
+
+    def test_startservice(self, device):
+        result = device.adb.shell(
+            "am startservice -a a.b.SYNC -n com.example.app/.SyncService"
+        )
+        assert result.ok and result.reached_app
+
+    def test_startservice_not_found(self, device):
+        result = device.adb.shell("am startservice -n com.nope/.S")
+        assert result.exit_code == 1
+        assert "no service started" in result.output
+
+    def test_intent_args_full(self, device):
+        device.adb.shell(
+            "am start -a a.VIEW -d https://x/ -c android.intent.category.DEFAULT"
+            " -t text/plain --es k v --ei n 3 -n com.example.app/.MainActivity"
+        )
+        text = device.adb.logcat()
+        assert "dat=https://x/" in text
+        assert "typ=text/plain" in text
+        assert "(has extras)" in text
+
+    def test_bad_extra_int(self, device):
+        result = device.adb.shell("am start --ei n notanint -n com.example.app/.MainActivity")
+        assert result.exit_code == 1
+        assert "NumberFormatException" in result.output
+
+    def test_force_stop(self, device):
+        device.adb.shell("am start -n com.example.app/.MainActivity")
+        assert device.adb.shell("am force-stop com.example.app").ok
+        assert device.processes.get("com.example.app") is None
+
+    def test_unknown_option(self, device):
+        result = device.adb.shell("am start --frobnicate x")
+        assert result.exit_code == 1
+
+
+class TestPmTool:
+    def test_list_packages(self, device):
+        result = device.adb.shell("pm list packages")
+        assert "package:com.example.app" in result.output
+
+    def test_list_permissions(self, device):
+        result = device.adb.shell("pm list permissions")
+        assert "permission:android.permission.BODY_SENSORS" in result.output
+
+    def test_grant_known(self, device):
+        result = device.adb.shell("pm grant com.example.app android.permission.BODY_SENSORS")
+        assert result.ok
+
+    def test_grant_garbage_permission_rejected_at_tool(self, device):
+        # The documented pm quirk: the garbage string never reaches the app.
+        result = device.adb.shell("pm grant com.example.app 'S0me.r@ndom.$trinG'")
+        assert result.exit_code == 1
+        assert "not a changeable permission type" in result.output
+        assert isinstance(result.tool_exception, SecurityException)
+
+    def test_grant_unknown_package(self, device):
+        result = device.adb.shell("pm grant com.nope android.permission.VIBRATE")
+        assert result.exit_code == 1
+        assert "Unknown package" in result.output
+
+    def test_revoke(self, device):
+        device.adb.shell("pm grant com.example.app android.permission.BODY_SENSORS")
+        assert device.adb.shell("pm revoke com.example.app android.permission.BODY_SENSORS").ok
+
+
+class TestShellDispatch:
+    def test_unknown_tool(self, device):
+        assert device.adb.shell("frobnicate").exit_code == 127
+
+    def test_empty_command(self, device):
+        assert device.adb.shell("").ok
+
+    def test_syntax_error(self, device):
+        assert device.adb.shell("am start 'unclosed").exit_code == 2
+
+    def test_logcat_roundtrip(self, device):
+        device.adb.shell("am start -n com.example.app/.MainActivity")
+        assert "START u0" in device.adb.logcat()
+        device.adb.logcat_clear()
+        assert device.adb.logcat() == ""
+
+
+class _UiCrashActivity(Activity):
+    def on_ui_event(self, kind, **params):
+        raise NullPointerException("view was null")
+
+
+class TestUiCrashPath:
+    def test_tap_can_crash_a_fragile_activity(self):
+        device = Device()
+        info = ComponentInfo(
+            name=ComponentName("com.frail", "com.frail.Main"),
+            kind=ComponentKind.ACTIVITY,
+            intent_filters=[launcher_filter()],
+            behavior_key="frail",
+        )
+        device.install(
+            PackageInfo(
+                package="com.frail",
+                label="Frail",
+                category=AppCategory.OTHER,
+                origin=AppOrigin.THIRD_PARTY,
+                components=[info],
+            )
+        )
+        device.activity_manager.register_factory(
+            "frail", lambda i, c: _UiCrashActivity(i, c)
+        )
+        device.adb.shell("am start -n com.frail/.Main")
+        result = device.adb.shell("input tap 10 10")
+        assert result.caused_crash
+        assert "FATAL EXCEPTION: main" in device.adb.logcat()

@@ -1,0 +1,160 @@
+"""Tests for broadcast delivery (the JJB-lineage extension)."""
+
+import pytest
+
+from repro.android.component import BroadcastReceiver, ComponentInfo, ComponentKind
+from repro.android.context import Context
+from repro.android.device import Device
+from repro.android.intent import ComponentName, Intent, IntentFilter
+from repro.android.jtypes import NullPointerException, SecurityException
+from repro.android.package_manager import AppCategory, AppOrigin, PackageInfo
+from repro.apps.behavior import (
+    BehaviorRegistry,
+    BehaviorSpec,
+    ModeledReceiver,
+    Outcome,
+    Trigger,
+    Vulnerability,
+)
+
+SMS_ACTION = "android.provider.Telephony.SMS_RECEIVED"
+
+
+def receiver_info(pkg, cls, exported=True, actions=(SMS_ACTION,), behavior_key=None):
+    return ComponentInfo(
+        name=ComponentName(pkg, f"{pkg}.{cls}"),
+        kind=ComponentKind.RECEIVER,
+        exported=exported,
+        intent_filters=[IntentFilter(actions=list(actions))],
+        behavior_key=behavior_key,
+    )
+
+
+@pytest.fixture()
+def device():
+    dev = Device("bcast")
+    dev.install(
+        PackageInfo(
+            package="com.alpha",
+            label="Alpha",
+            category=AppCategory.OTHER,
+            origin=AppOrigin.THIRD_PARTY,
+            components=[
+                receiver_info("com.alpha", "SmsReceiver"),
+                receiver_info("com.alpha", "HiddenReceiver", exported=False),
+            ],
+        )
+    )
+    dev.install(
+        PackageInfo(
+            package="com.beta",
+            label="Beta",
+            category=AppCategory.OTHER,
+            origin=AppOrigin.THIRD_PARTY,
+            components=[receiver_info("com.beta", "SmsReceiver")],
+        )
+    )
+    return dev
+
+
+class TestBroadcastDelivery:
+    def test_implicit_broadcast_reaches_all_matching_exported(self, device):
+        delivered = device.activity_manager.send_broadcast(
+            "com.qgj", Intent(SMS_ACTION)
+        )
+        assert delivered == 2  # both exported SmsReceivers; not the hidden one
+
+    def test_explicit_broadcast_reaches_named_receiver(self, device):
+        intent = Intent(SMS_ACTION).set_class_name("com.beta", "com.beta.SmsReceiver")
+        assert device.activity_manager.send_broadcast("com.qgj", intent) == 1
+
+    def test_explicit_to_non_receiver_is_zero(self, device):
+        intent = Intent(SMS_ACTION).set_class_name("com.nope", "com.nope.X")
+        assert device.activity_manager.send_broadcast("com.qgj", intent) == 0
+
+    def test_protected_action_rejected(self, device):
+        with pytest.raises(SecurityException):
+            device.activity_manager.send_broadcast(
+                "com.qgj", Intent("android.intent.action.BOOT_COMPLETED")
+            )
+        assert "Permission Denial" in device.adb.logcat()
+
+    def test_privileged_sender_may_broadcast_protected(self, device):
+        device.permissions.mark_privileged("com.sys")
+        # No receiver declares BOOT_COMPLETED here; delivery is 0 but legal.
+        assert device.activity_manager.send_broadcast(
+            "com.sys", Intent("android.intent.action.BOOT_COMPLETED")
+        ) == 0
+
+    def test_non_matching_action_delivers_nowhere(self, device):
+        assert device.activity_manager.send_broadcast("com.qgj", Intent("x.Y")) == 0
+
+    def test_context_send_broadcast(self, device):
+        context = Context("com.alpha", device)
+        assert context.send_broadcast(Intent(SMS_ACTION)) == 2
+
+
+class _CrashingReceiver(BroadcastReceiver):
+    def on_handle_intent(self, intent, phase):
+        raise NullPointerException("pdus was null")
+
+
+class TestReceiverFailureContainment:
+    def test_receiver_crash_contained_and_logged(self, device):
+        device.install(
+            PackageInfo(
+                package="com.frail",
+                label="Frail",
+                category=AppCategory.OTHER,
+                origin=AppOrigin.THIRD_PARTY,
+                components=[
+                    receiver_info("com.frail", "SmsReceiver", behavior_key="frail.recv")
+                ],
+            )
+        )
+        device.activity_manager.register_factory(
+            "frail.recv", lambda info, ctx: _CrashingReceiver(info, ctx)
+        )
+        delivered = device.activity_manager.send_broadcast("com.qgj", Intent(SMS_ACTION))
+        # The frail receiver crashed, the healthy two still got it.
+        assert delivered == 3
+        text = device.adb.logcat()
+        assert "FATAL EXCEPTION: main" in text
+        assert "pdus was null" in text
+        assert device.processes.get("com.frail") is None
+
+    def test_modeled_receiver_behavior(self, device):
+        registry = BehaviorRegistry()
+        registry.register(
+            "recv.model",
+            BehaviorSpec(
+                vulnerabilities=[
+                    Vulnerability(
+                        trigger=Trigger.MISSING_DATA,
+                        exception="java.lang.NullPointerException",
+                        outcome=Outcome.CRASH,
+                    )
+                ]
+            ),
+        )
+        registry.install(device.activity_manager)
+        device.install(
+            PackageInfo(
+                package="com.gamma",
+                label="Gamma",
+                category=AppCategory.OTHER,
+                origin=AppOrigin.THIRD_PARTY,
+                components=[
+                    receiver_info("com.gamma", "SmsReceiver", behavior_key="recv.model")
+                ],
+            )
+        )
+        factory = device.activity_manager._factories["recv.model"]
+        info = device.packages.resolve_component(
+            ComponentName("com.gamma", "com.gamma.SmsReceiver")
+        )
+        receiver = factory(info, Context("com.gamma", device))
+        assert isinstance(receiver, ModeledReceiver)
+        # Blank-action-style intent crashes it; data-carrying one does not.
+        device.activity_manager.send_broadcast("com.qgj", Intent(SMS_ACTION))
+        assert "FATAL EXCEPTION" in device.adb.logcat()

@@ -1,0 +1,156 @@
+"""Tests for the Device facade, Context helpers, and reboot mechanics."""
+
+import pytest
+
+from repro.android.component import ComponentInfo, ComponentKind
+from repro.android.context import Context
+from repro.android.device import BOOT_DURATION_MS, Device
+from repro.android.intent import ComponentName, Intent, launcher_filter
+from repro.android.jtypes import ActivityNotFoundException, SecurityException
+from repro.android.package_manager import AppCategory, AppOrigin, PackageInfo
+from repro.wear.device import WearDevice
+
+
+def simple_package(pkg="com.a"):
+    return PackageInfo(
+        package=pkg,
+        label=pkg,
+        category=AppCategory.OTHER,
+        origin=AppOrigin.THIRD_PARTY,
+        components=[
+            ComponentInfo(
+                name=ComponentName(pkg, f"{pkg}.MainActivity"),
+                kind=ComponentKind.ACTIVITY,
+                intent_filters=[launcher_filter()],
+            ),
+            ComponentInfo(
+                name=ComponentName(pkg, f"{pkg}.SyncService"),
+                kind=ComponentKind.SERVICE,
+            ),
+        ],
+    )
+
+
+class TestDevice:
+    def test_boot_logs(self):
+        device = Device("d", android_version="7.1.1")
+        text = device.adb.logcat()
+        assert "Starting Android runtime (7.1.1) on d" in text
+        assert "Boot completed" in text
+        assert device.boot_count == 1
+
+    def test_unknown_system_service_is_none(self):
+        device = Device()
+        assert device.get_system_service("frobnicator", "com.a") is None
+        assert not device.has_system_service("frobnicator")
+
+    def test_custom_system_service_provider(self):
+        device = Device()
+        device.register_system_service("echo", lambda dev, pkg: f"echo:{pkg}")
+        assert device.get_system_service("echo", "com.x") == "echo:com.x"
+
+    def test_reboot_advances_clock_and_counters(self):
+        device = Device()
+        before = device.clock.now_ms()
+        device.perform_reboot("test")
+        assert device.boot_count == 2
+        assert device.clock.now_ms() >= before + BOOT_DURATION_MS
+        assert not device.rebooting
+
+    def test_reboot_kills_processes_but_keeps_packages(self):
+        device = Device()
+        device.install(simple_package())
+        device.processes.get_or_start("com.a", "com.a")
+        device.perform_reboot("test")
+        assert device.processes.get("com.a") is None
+        assert device.packages.is_installed("com.a")
+        # Apps restart fine after boot.
+        intent = Intent("a").set_class_name("com.a", "com.a.MainActivity")
+        result = device.activity_manager.start_activity("com.qgj", intent)
+        assert result.delivered
+
+    def test_wear_reboot_resets_wear_services(self):
+        watch = WearDevice("w")
+        watch.ambient.enter_ambient()
+        client = watch.get_system_service("fit", "com.h")
+        session = client.start_session("run")
+        watch.perform_reboot("test")
+        from repro.wear.ambient import DisplayState
+
+        assert watch.ambient.state == DisplayState.INTERACTIVE
+        assert not session.active
+
+
+class TestContext:
+    @pytest.fixture()
+    def device(self):
+        dev = Device()
+        dev.install(simple_package())
+        return dev
+
+    def test_start_activity_via_context(self, device):
+        context = Context("com.qgj", device)
+        context.start_activity(Intent("x").set_class_name("com.a", "com.a.MainActivity"))
+        assert "START u0" in device.adb.logcat()
+
+    def test_start_activity_propagates_not_found(self, device):
+        context = Context("com.qgj", device)
+        with pytest.raises(ActivityNotFoundException):
+            context.start_activity(Intent("x").set_class_name("com.z", "com.z.X"))
+
+    def test_start_service_via_context(self, device):
+        context = Context("com.qgj", device)
+        name = context.start_service(
+            Intent("x").set_class_name("com.a", "com.a.SyncService")
+        )
+        assert name == ComponentName("com.a", "com.a.SyncService")
+
+    def test_implicit_service_rejected(self, device):
+        context = Context("com.qgj", device)
+        with pytest.raises(SecurityException):
+            context.start_service(Intent("x"))
+
+    def test_permission_helpers(self, device):
+        context = Context("com.a", device)
+        assert not context.has_permission("android.permission.BODY_SENSORS")
+        device.permissions.grant("com.a", "android.permission.BODY_SENSORS")
+        assert context.has_permission("android.permission.BODY_SENSORS")
+
+    def test_log_helpers_tag_pid(self, device):
+        context = Context("com.a", device)
+        device.processes.get_or_start("com.a", "com.a")
+        context.log_i("Tag", "info message")
+        context.log_w("Tag", "warn message")
+        context.log_e("Tag", "error message")
+        text = device.adb.logcat()
+        assert "I Tag: info message" in text
+        assert "W Tag: warn message" in text
+        assert "E Tag: error message" in text
+
+    def test_log_without_process_uses_pid_zero(self, device):
+        context = Context("com.notstarted", device)
+        context.log_i("T", "x")  # must not raise
+        assert "T: x" in device.adb.logcat()
+
+
+class TestUiEventEdgeCases:
+    def test_ui_event_after_foreground_process_death(self):
+        device = Device()
+        device.install(simple_package())
+        intent = Intent("x").set_class_name("com.a", "com.a.MainActivity")
+        device.activity_manager.start_activity("com.qgj", intent)
+        device.activity_manager.force_stop("com.a")
+        result = device.activity_manager.deliver_ui_event("tap", x=1.0, y=1.0)
+        assert not result.delivered
+        assert device.activity_manager.foreground is None
+
+    def test_ui_events_accumulate_handler_cost(self):
+        device = Device()
+        device.install(simple_package())
+        intent = Intent("x").set_class_name("com.a", "com.a.MainActivity")
+        device.activity_manager.start_activity("com.qgj", intent)
+        info = device.packages.resolve_component(intent.component)
+        component = device.activity_manager.live_component(info)
+        before = component.handler_cost_ms
+        device.activity_manager.deliver_ui_event("tap", x=1.0, y=1.0)
+        assert component.handler_cost_ms > before

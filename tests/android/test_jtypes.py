@@ -1,0 +1,143 @@
+"""Tests for the Java-style throwable hierarchy."""
+
+import pytest
+
+from repro.android.jtypes import (
+    ActivityNotFoundException,
+    ArithmeticException,
+    ClassNotFoundException,
+    DeadObjectException,
+    IllegalArgumentException,
+    IllegalStateException,
+    JavaException,
+    NullPointerException,
+    NumberFormatException,
+    RemoteException,
+    RuntimeException,
+    SecurityException,
+    Throwable,
+    frame,
+    sigabrt,
+    sigsegv,
+    throwable_from_name,
+)
+
+
+class TestHierarchy:
+    def test_runtime_exceptions_are_exceptions(self):
+        assert issubclass(RuntimeException, JavaException)
+        assert issubclass(NullPointerException, RuntimeException)
+        assert issubclass(IllegalArgumentException, RuntimeException)
+        assert issubclass(IllegalStateException, RuntimeException)
+        assert issubclass(SecurityException, RuntimeException)
+
+    def test_number_format_is_illegal_argument(self):
+        # Matches the Java hierarchy: NumberFormatException extends IAE.
+        assert issubclass(NumberFormatException, IllegalArgumentException)
+
+    def test_dead_object_is_remote(self):
+        assert issubclass(DeadObjectException, RemoteException)
+
+    def test_class_not_found_is_checked_not_runtime(self):
+        assert not issubclass(ClassNotFoundException, RuntimeException)
+
+    def test_throwables_are_python_exceptions(self):
+        with pytest.raises(Throwable):
+            raise NullPointerException("boom")
+
+    def test_catch_by_base_class(self):
+        with pytest.raises(RuntimeException):
+            raise IllegalStateException("bad state")
+
+
+class TestRendering:
+    def test_java_str_with_message(self):
+        exc = NullPointerException("Attempt to invoke virtual method")
+        assert exc.java_str() == (
+            "java.lang.NullPointerException: Attempt to invoke virtual method"
+        )
+
+    def test_java_str_without_message(self):
+        assert ArithmeticException().java_str() == "java.lang.ArithmeticException"
+
+    def test_android_class_names(self):
+        assert ActivityNotFoundException("x").java_str().startswith(
+            "android.content.ActivityNotFoundException"
+        )
+        assert DeadObjectException().java_str() == "android.os.DeadObjectException"
+
+    def test_stack_trace_contains_frames(self):
+        exc = IllegalStateException("nope")
+        exc.frames = [frame("com.example.app.MainActivity", "onCreate", 42)]
+        lines = exc.stack_trace_lines()
+        assert lines[0] == "java.lang.IllegalStateException: nope"
+        assert lines[1] == "\tat com.example.app.MainActivity.onCreate(MainActivity.java:42)"
+
+    def test_frame_derives_file_from_class(self):
+        f = frame("com.example.Foo$Inner", "run", 7)
+        assert f.file == "Foo.java"
+
+    def test_cause_chain_renders_caused_by(self):
+        inner = NullPointerException("inner")
+        outer = RuntimeException("outer", cause=inner)
+        lines = outer.stack_trace_lines()
+        assert any(line.startswith("Caused by: java.lang.NullPointerException") for line in lines)
+
+    def test_cause_chain_iteration_order(self):
+        a = NullPointerException("a")
+        b = IllegalStateException("b", cause=a)
+        c = RuntimeException("c", cause=b)
+        chain = list(c.cause_chain())
+        assert [type(x) for x in chain] == [
+            RuntimeException,
+            IllegalStateException,
+            NullPointerException,
+        ]
+
+    def test_root_cause(self):
+        a = NullPointerException("a")
+        c = RuntimeException("c", cause=IllegalStateException("b", cause=a))
+        assert c.root_cause() is a
+
+    def test_cycle_in_causes_is_bounded(self):
+        a = RuntimeException("a")
+        b = RuntimeException("b", cause=a)
+        a.cause = b  # malicious cycle
+        assert len(list(a.cause_chain())) <= 16
+        assert len(a.stack_trace_lines()) < 100
+
+    def test_with_frames_appends_framework_padding(self):
+        exc = NullPointerException("x").with_frames(
+            [frame("com.example.A", "onCreate", 1)], component_kind="activity"
+        )
+        rendered = "\n".join(exc.stack_trace_lines())
+        assert "android.app.ActivityThread.performLaunchActivity" in rendered
+
+    def test_service_padding_differs_from_activity(self):
+        act = NullPointerException("x").with_frames([], component_kind="activity")
+        svc = NullPointerException("x").with_frames([], component_kind="service")
+        assert act.stack_trace_lines() != svc.stack_trace_lines()
+
+
+class TestRegistry:
+    def test_round_trip_known_class(self):
+        exc = throwable_from_name("java.lang.IllegalStateException", "m")
+        assert isinstance(exc, IllegalStateException)
+        assert exc.message == "m"
+
+    def test_unknown_class_preserved(self):
+        exc = throwable_from_name("com.vendor.WeirdException", "m")
+        assert exc.java_str() == "com.vendor.WeirdException: m"
+
+
+class TestNativeSignals:
+    def test_sigabrt(self):
+        sig = sigabrt("/system/lib/libsensorservice.so", "queue wedged")
+        assert sig.number == 6
+        assert "SIGABRT" in sig.logcat_line()
+        assert "libsensorservice" in sig.logcat_line()
+
+    def test_sigsegv(self):
+        sig = sigsegv("system_server")
+        assert sig.number == 11
+        assert sig.signal == "SIGSEGV"

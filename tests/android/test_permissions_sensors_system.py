@@ -1,0 +1,261 @@
+"""Tests for permissions, the sensor stack, and the system server aging model."""
+
+import pytest
+
+from repro.android.clock import Clock
+from repro.android.component import ComponentInfo, ComponentKind
+from repro.android.device import Device
+from repro.android.intent import ComponentName
+from repro.android.jtypes import (
+    DeadObjectException,
+    IllegalArgumentException,
+    NullPointerException,
+    sigabrt,
+)
+from repro.android.package_manager import AppCategory, AppOrigin, PackageInfo
+from repro.android.permissions import (
+    PERMISSION_DENIED,
+    PERMISSION_GRANTED,
+    PermissionManager,
+    ProtectionLevel,
+    Permission,
+)
+from repro.android.process import ProcessRecord
+from repro.android.sensor import TYPE_HEART_RATE, SensorManager
+from repro.android.system_server import AgingModel
+
+
+class TestPermissionManager:
+    def setup_method(self):
+        self.pm = PermissionManager()
+
+    def test_protected_action_detection(self):
+        assert self.pm.is_protected_action("android.intent.action.BATTERY_LOW")
+        assert not self.pm.is_protected_action("android.intent.action.VIEW")
+        assert not self.pm.is_protected_action(None)
+
+    def test_unprivileged_cannot_send_protected(self):
+        assert not self.pm.may_send_action("com.qgj", "android.intent.action.BOOT_COMPLETED")
+        assert self.pm.may_send_action("com.qgj", "android.intent.action.VIEW")
+
+    def test_privileged_can_send_protected(self):
+        self.pm.mark_privileged("com.sys")
+        assert self.pm.may_send_action("com.sys", "android.intent.action.BOOT_COMPLETED")
+
+    def test_grant_and_check(self):
+        self.pm.grant("com.a", "android.permission.BODY_SENSORS")
+        assert self.pm.check_permission("com.a", "android.permission.BODY_SENSORS") == PERMISSION_GRANTED
+        assert self.pm.check_permission("com.b", "android.permission.BODY_SENSORS") == PERMISSION_DENIED
+
+    def test_grant_unknown_permission_rejected(self):
+        with pytest.raises(ValueError):
+            self.pm.grant("com.a", "S0me.r@ndom.$trinG")
+
+    def test_signature_permission_not_grantable_to_third_party(self):
+        self.pm.grant("com.a", "android.permission.DEVICE_POWER")
+        assert self.pm.check_permission("com.a", "android.permission.DEVICE_POWER") == PERMISSION_DENIED
+
+    def test_privileged_package_has_everything(self):
+        self.pm.mark_privileged("com.sys")
+        assert self.pm.check_permission("com.sys", "android.permission.DEVICE_POWER") == PERMISSION_GRANTED
+
+    def test_revoke(self):
+        self.pm.grant("com.a", "android.permission.VIBRATE")
+        self.pm.revoke("com.a", "android.permission.VIBRATE")
+        assert self.pm.check_permission("com.a", "android.permission.VIBRATE") == PERMISSION_DENIED
+
+    def test_declare_custom_permission(self):
+        self.pm.declare(Permission("com.app.CUSTOM", ProtectionLevel.NORMAL))
+        self.pm.grant("com.a", "com.app.CUSTOM")
+        assert self.pm.check_permission("com.a", "com.app.CUSTOM") == PERMISSION_GRANTED
+
+
+class TestSensorStack:
+    def setup_method(self):
+        self.device = Device("watch")
+        self.service = self.device.sensor_service
+
+    def test_default_sensors_present(self):
+        assert self.service.get_default_sensor(TYPE_HEART_RATE) is not None
+
+    def test_register_listener(self):
+        manager = SensorManager(self.service, "com.health")
+        manager.register_listener_by_type(TYPE_HEART_RATE)
+        assert self.service.has_listeners("com.health")
+
+    def test_register_unknown_type_raises_iae(self):
+        manager = SensorManager(self.service, "com.health")
+        with pytest.raises(IllegalArgumentException):
+            manager.register_listener_by_type(999)
+
+    def test_unregister_all(self):
+        manager = SensorManager(self.service, "com.health")
+        manager.register_listener_by_type(TYPE_HEART_RATE)
+        assert manager.unregister_all() == 1
+        assert not self.service.has_listeners("com.health")
+
+    def test_context_provides_sensor_manager(self):
+        manager = self.device.get_system_service("sensor", "com.health")
+        assert isinstance(manager, SensorManager)
+
+    def test_anr_client_without_listeners_is_harmless(self):
+        client = ProcessRecord("com.idle", "com.idle", self.device.clock)
+        assert not self.service.on_client_anr(client)
+        assert self.service.alive
+
+    def test_anr_client_with_listeners_kills_service_and_reboots(self):
+        manager = SensorManager(self.service, "com.health")
+        manager.register_listener_by_type(TYPE_HEART_RATE)
+        client = self.device.processes.get_or_start("com.health", "com.health")
+        boots_before = self.device.boot_count
+        assert self.service.on_client_anr(client)
+        # Losing the core native service reboots the device...
+        assert self.device.boot_count == boots_before + 1
+        # ...and the restarted service is healthy again.
+        assert self.service.alive
+        text = self.device.adb.logcat()
+        assert "Fatal signal 6 (SIGABRT)" in text
+        assert "SYSTEM REBOOT" in text
+
+    def test_dead_service_raises_dead_object(self):
+        self.service.process.kill()
+        manager = SensorManager(self.service, "com.health")
+        with pytest.raises(DeadObjectException):
+            manager.get_default_sensor(TYPE_HEART_RATE)
+
+
+class TestAgingModel:
+    def test_deposit_and_score(self):
+        clock = Clock()
+        aging = AgingModel(clock, half_life_ms=1000)
+        aging.deposit(4.0, "crash:x")
+        assert aging.score() == pytest.approx(4.0)
+
+    def test_exponential_decay(self):
+        clock = Clock()
+        aging = AgingModel(clock, half_life_ms=1000)
+        aging.deposit(4.0, "crash:x")
+        clock.sleep(1000)
+        assert aging.score() == pytest.approx(2.0)
+        clock.sleep(1000)
+        assert aging.score() == pytest.approx(1.0)
+
+    def test_accumulation(self):
+        clock = Clock()
+        aging = AgingModel(clock, half_life_ms=1000)
+        for _ in range(3):
+            aging.deposit(1.0, "anr")
+        assert aging.score() == pytest.approx(3.0)
+
+    def test_negative_weight_rejected(self):
+        aging = AgingModel(Clock())
+        with pytest.raises(ValueError):
+            aging.deposit(-1.0, "x")
+
+    def test_reset(self):
+        aging = AgingModel(Clock())
+        aging.deposit(5.0, "x")
+        aging.reset()
+        assert aging.score() == 0.0
+
+    def test_old_events_pruned(self):
+        clock = Clock()
+        aging = AgingModel(clock, half_life_ms=10)
+        for _ in range(300):
+            aging.deposit(1.0, "x")
+            clock.sleep(200)  # 20 half-lives apart
+        assert aging.event_count() <= 256
+
+
+class TestSystemServerEscalation:
+    def _crash_info(self, device, package="com.builtin.app"):
+        comp = ComponentInfo(
+            name=ComponentName(package, f"{package}.Main"),
+            kind=ComponentKind.ACTIVITY,
+        )
+        return comp
+
+    def _install(self, device, package, origin):
+        device.install(
+            PackageInfo(
+                package=package,
+                label=package,
+                category=AppCategory.OTHER,
+                origin=origin,
+                components=[],
+            )
+        )
+
+    def test_builtin_crash_weighs_more(self):
+        device = Device()
+        self._install(device, "com.builtin.app", AppOrigin.BUILT_IN)
+        self._install(device, "com.third.app", AppOrigin.THIRD_PARTY)
+        proc = device.processes.get_or_start("com.builtin.app", "com.builtin.app")
+        device.system_server.on_app_crash(
+            proc, self._crash_info(device, "com.builtin.app"), NullPointerException("x")
+        )
+        builtin_score = device.system_server.aging.score()
+        device.system_server.aging.reset()
+        device.system_server.on_app_crash(
+            proc, self._crash_info(device, "com.third.app"), NullPointerException("x")
+        )
+        assert builtin_score > device.system_server.aging.score()
+
+    def test_ambient_starvation_reboot_requires_aging(self):
+        device = Device(reboot_threshold=6.0)
+        self._install(device, "com.builtin.app", AppOrigin.BUILT_IN)
+        device.system_server.register_ambient_binder("com.builtin.app")
+        info = self._crash_info(device)
+        proc = device.processes.get_or_start("com.builtin.app", "com.builtin.app")
+        boots_before = device.boot_count
+        # Crash-loop the component; weights accumulate until the third
+        # (loop-flagged) crash pushes past the threshold and the SIGSEGV path
+        # reboots the device.
+        for _ in range(4):
+            device.system_server.on_app_crash(proc, info, NullPointerException("x"))
+        assert device.boot_count > boots_before
+        text = device.adb.logcat()
+        assert "Fatal signal 11 (SIGSEGV)" in text
+        assert "ambient bind" in text.lower()
+
+    def test_single_crash_never_reboots(self):
+        device = Device()
+        self._install(device, "com.builtin.app", AppOrigin.BUILT_IN)
+        device.system_server.register_ambient_binder("com.builtin.app")
+        proc = device.processes.get_or_start("com.builtin.app", "com.builtin.app")
+        device.system_server.on_app_crash(
+            proc, self._crash_info(device), NullPointerException("x")
+        )
+        assert device.boot_count == 1
+        assert device.system_server.reboot_count == 0
+
+    def test_aging_resets_after_reboot(self):
+        device = Device(reboot_threshold=6.0)
+        self._install(device, "com.builtin.app", AppOrigin.BUILT_IN)
+        device.system_server.register_ambient_binder("com.builtin.app")
+        info = self._crash_info(device)
+        proc = device.processes.get_or_start("com.builtin.app", "com.builtin.app")
+        for _ in range(4):
+            device.system_server.on_app_crash(proc, info, NullPointerException("x"))
+            if device.system_server.reboot_count:
+                break
+        assert device.system_server.reboot_count == 1
+        assert device.system_server.aging.score() == 0.0
+
+    def test_reboot_record_captures_post_mortem(self):
+        device = Device(reboot_threshold=6.0)
+        self._install(device, "com.builtin.app", AppOrigin.BUILT_IN)
+        device.system_server.register_ambient_binder("com.builtin.app")
+        info = self._crash_info(device)
+        proc = device.processes.get_or_start("com.builtin.app", "com.builtin.app")
+        for _ in range(4):
+            device.system_server.on_app_crash(proc, info, NullPointerException("x"))
+        record = device.system_server.reboots[0]
+        assert record.signal is not None and record.signal.signal == "SIGSEGV"
+        assert record.triggering_component == "com.builtin.app/com.builtin.app.Main"
+        assert record.aging_score >= 6.0
+
+    def test_native_death_reboots_unconditionally(self):
+        device = Device()
+        device.system_server.on_native_service_death("sensorservice", sigabrt("libsensorservice.so"))
+        assert device.system_server.reboot_count == 1

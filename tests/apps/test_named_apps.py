@@ -1,0 +1,186 @@
+"""Tests for the hand-modelled apps: the paper's four case studies."""
+
+import pytest
+
+from repro.android.intent import ComponentName, Intent
+from repro.android.jtypes import (
+    ArithmeticException,
+    IllegalArgumentException,
+)
+from repro.apps.builtin import AMBIENT_BINDER_PACKAGE, GOOGLE_FIT_PACKAGE
+from repro.apps.catalog import build_wear_corpus
+from repro.apps.health import GRID_PAGER_PACKAGE, HEART_RATE_PACKAGE
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import FuzzConfig, FuzzerLibrary
+from repro.wear.complications import ACTION_ALL_APP, EXTRA_PROVIDER_INFO
+from repro.wear.device import WearDevice
+
+
+@pytest.fixture()
+def watch():
+    corpus = build_wear_corpus(seed=2018)
+    device = WearDevice("watch")
+    corpus.install(device)
+    return device
+
+
+def start(device, intent):
+    return device.activity_manager.start_activity("com.qgj.wear", intent)
+
+
+class TestGoogleFitAllApp:
+    COMPONENT = ComponentName(
+        GOOGLE_FIT_PACKAGE, GOOGLE_FIT_PACKAGE + ".ComplicationsAllAppActivity"
+    )
+
+    def test_action_all_app_without_provider_extra_crashes_with_iae(self, watch):
+        # The paper's case study: {act=ACTION_ALL_APP} without the expected
+        # Complication Provider message.
+        intent = Intent(ACTION_ALL_APP).set_component(self.COMPONENT)
+        result = start(watch, intent)
+        assert result.crashed
+        assert isinstance(result.throwable, IllegalArgumentException)
+        assert "FATAL EXCEPTION: main" in watch.adb.logcat()
+
+    def test_garbage_provider_extra_also_crashes(self, watch):
+        intent = (
+            Intent(ACTION_ALL_APP)
+            .set_component(self.COMPONENT)
+            .put_extra(EXTRA_PROVIDER_INFO, 42)
+        )
+        result = start(watch, intent)
+        assert result.crashed
+        assert isinstance(result.throwable, IllegalArgumentException)
+
+    def test_valid_provider_extra_is_handled(self, watch):
+        from repro.wear.complications import (
+            ComplicationProviderInfo,
+            ComplicationType,
+        )
+
+        info = ComplicationProviderInfo(
+            provider=ComponentName("com.fit", "com.fit.Steps"),
+            supported_types=(ComplicationType.SHORT_TEXT,),
+        )
+        intent = (
+            Intent(ACTION_ALL_APP)
+            .set_component(self.COMPONENT)
+            .put_extra(EXTRA_PROVIDER_INFO, info.to_extra())
+        )
+        result = start(watch, intent)
+        assert result.delivered and not result.crashed
+
+    def test_other_actions_ignored(self, watch):
+        intent = Intent("android.intent.action.VIEW").set_component(self.COMPONENT)
+        result = start(watch, intent)
+        assert not result.crashed
+
+
+class TestGridPagerLegacy:
+    def test_mismatched_intent_raises_arithmetic_exception(self, watch):
+        package = watch.packages.get_package(GRID_PAGER_PACKAGE)
+        target = next(
+            c for c in package.activities()
+            if c.behavior_key == "health.stridelog.gridpager"
+        )
+        mismatch = Intent(
+            "android.intent.action.DIAL", data="https://foo.com/"
+        ).set_component(target.name)
+        result = start(watch, mismatch)
+        assert result.crashed
+        assert isinstance(result.throwable, ArithmeticException)
+        text = watch.adb.logcat()
+        assert "java.lang.ArithmeticException: divide by zero" in text
+        assert "GridViewPager" in text
+
+    def test_valid_intent_pages_fine(self, watch):
+        package = watch.packages.get_package(GRID_PAGER_PACKAGE)
+        target = next(
+            c for c in package.activities()
+            if c.behavior_key == "health.stridelog.gridpager"
+        )
+        ok = Intent("android.intent.action.VIEW", data="https://foo.com/").set_component(
+            target.name
+        )
+        result = start(watch, ok)
+        assert not result.crashed
+
+
+class TestHeartRateReboot:
+    def test_campaign_a_triggers_exactly_one_reboot(self, watch):
+        fuzzer = FuzzerLibrary(watch)
+        result = fuzzer.fuzz_app(
+            HEART_RATE_PACKAGE,
+            Campaign.A,
+            FuzzConfig(strides={Campaign.A: 12}),
+        )
+        assert result.aborted_by_reboot
+        assert watch.boot_count == 2
+        text = watch.adb.logcat()
+        assert "Fatal signal 6 (SIGABRT)" in text
+        assert "libsensorservice" in text
+        assert "ANR in com.pulsetrack.wear" in text
+        assert "SYSTEM REBOOT" in text
+
+    def test_no_exceptions_before_the_anr(self, watch):
+        # The paper: "There were no exceptions raised before the crash,
+        # which means the malformed intents were not rejected by the app."
+        fuzzer = FuzzerLibrary(watch)
+        fuzzer.fuzz_app(HEART_RATE_PACKAGE, Campaign.A, FuzzConfig(strides={Campaign.A: 12}))
+        lines = watch.adb.logcat().splitlines()
+        anr_index = next(i for i, l in enumerate(lines) if "ANR in" in l)
+        app_exceptions = [
+            line
+            for line in lines[:anr_index]
+            if "Exception" in line and "SecurityException" not in line
+        ]
+        # System-side SecurityExceptions are "the specified and secure
+        # behavior"; the *app* raised nothing before it wedged.
+        assert app_exceptions == []
+
+    def test_other_campaigns_leave_heart_rate_app_alone(self, watch):
+        fuzzer = FuzzerLibrary(watch)
+        for campaign in (Campaign.B, Campaign.C, Campaign.D):
+            result = fuzzer.fuzz_app(HEART_RATE_PACKAGE, campaign, FuzzConfig())
+            assert not result.aborted_by_reboot, campaign
+            assert result.crashes_seen == 0, campaign
+        assert watch.boot_count == 1
+
+    def test_sensor_service_recovers_after_reboot(self, watch):
+        fuzzer = FuzzerLibrary(watch)
+        fuzzer.fuzz_app(HEART_RATE_PACKAGE, Campaign.A, FuzzConfig(strides={Campaign.A: 12}))
+        assert watch.sensor_service.alive
+
+
+class TestAmbientReboot:
+    def test_campaign_d_triggers_exactly_one_reboot(self, watch):
+        fuzzer = FuzzerLibrary(watch)
+        result = fuzzer.fuzz_app(AMBIENT_BINDER_PACKAGE, Campaign.D, FuzzConfig())
+        assert result.aborted_by_reboot
+        assert watch.boot_count == 2
+        text = watch.adb.logcat()
+        assert "Fatal signal 11 (SIGSEGV)" in text
+        assert "ambient bind" in text.lower()
+        # The crash loop precedes the reboot.
+        assert text.count("FATAL EXCEPTION: main") >= 3
+
+    def test_other_campaigns_do_not_reboot(self, watch):
+        fuzzer = FuzzerLibrary(watch)
+        for campaign in (Campaign.A, Campaign.B, Campaign.C):
+            result = fuzzer.fuzz_app(
+                AMBIENT_BINDER_PACKAGE,
+                campaign,
+                FuzzConfig(strides={Campaign.A: 12, Campaign.B: 1, Campaign.C: 2}),
+            )
+            assert not result.aborted_by_reboot, campaign
+        assert watch.boot_count == 1
+
+    def test_whole_study_produces_exactly_two_reboots(self, watch):
+        fuzzer = FuzzerLibrary(watch)
+        config = FuzzConfig(
+            strides={Campaign.A: 12, Campaign.B: 1, Campaign.C: 2, Campaign.D: 1}
+        )
+        for package in (HEART_RATE_PACKAGE, AMBIENT_BINDER_PACKAGE):
+            for campaign in Campaign:
+                fuzzer.fuzz_app(package, campaign, config)
+        assert watch.boot_count == 3  # initial boot + exactly two reboots

@@ -1,0 +1,104 @@
+"""Tests for experiment configs and the ablation sweeps."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationRow,
+    ablate_pacing,
+    ablate_stride,
+    ablate_wedge_deliveries,
+    render_rows,
+)
+from repro.experiments.config import PAPER, QUICK, by_name
+from repro.qgj.campaigns import Campaign
+
+
+class TestConfigs:
+    def test_by_name(self):
+        assert by_name("quick") is QUICK
+        assert by_name("paper") is PAPER
+        with pytest.raises(ValueError):
+            by_name("nope")
+
+    def test_paper_scale_is_full_stride(self):
+        for campaign in Campaign:
+            assert PAPER.fuzz.stride_for(campaign) == 1
+        assert PAPER.ui_events == 41_405
+
+    def test_quick_preserves_campaign_structure(self):
+        # B and D run in full; A's stride of 12 keeps one data URI per action.
+        assert QUICK.fuzz.stride_for(Campaign.B) == 1
+        assert QUICK.fuzz.stride_for(Campaign.D) == 1
+        assert QUICK.fuzz.stride_for(Campaign.A) == 12
+        assert QUICK.fuzz.stride_for(Campaign.C) == 2
+
+
+class TestWedgeAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablate_wedge_deliveries(values=(1, 25, 200))
+
+    def test_reboot_vanishes_beyond_campaign_volume(self, rows):
+        by_value = {row.value: row for row in rows}
+        # One mismatched intent suffices at 1 and 25...
+        assert by_value[1].reboots == 1
+        assert by_value[25].reboots == 1
+        # ...but 200 exceeds the per-component quick volume (129): the state
+        # never accumulates, so no reboot -- "specific states of the device".
+        assert by_value[200].reboots == 0
+
+    def test_render(self, rows):
+        text = render_rows(rows)
+        assert "wedge_deliveries" in text
+        assert "no reboot" in text
+
+
+class TestPacingAblation:
+    def test_slow_pacing_outruns_the_crash_loop(self):
+        rows = ablate_pacing(delays_ms=(100.0, 16_000.0))
+        by_value = {row.value: row for row in rows}
+        assert by_value[100.0].reboots == 1
+        assert by_value[16_000.0].reboots == 0
+        # Without the reboot the campaign keeps crashing the component.
+        assert by_value[16_000.0].crashes_seen > by_value[100.0].crashes_seen
+
+
+class TestStrideAblation:
+    def test_crash_sets_stable_across_scales(self):
+        rows = ablate_stride(
+            scales=(
+                {Campaign.A: 12, Campaign.B: 1, Campaign.C: 2, Campaign.D: 1},
+                {Campaign.A: 36, Campaign.B: 1, Campaign.C: 6, Campaign.D: 1},
+            ),
+            packages=("com.runmate.wear", "com.fitband.wear"),
+        )
+        assert len(rows) == 2
+        # Campaign B and D are full-volume at both scales; their crash-app
+        # counts cannot differ.
+        assert rows[0].health_crash_apps["B"] == rows[1].health_crash_apps["B"]
+        assert rows[0].health_crash_apps["D"] == rows[1].health_crash_apps["D"]
+
+
+class TestRenderEdgeCases:
+    def test_render_empty(self):
+        assert "empty" in render_rows([])
+
+    def test_row_dataclass(self):
+        row = AblationRow(parameter="p", value=1.0, reboots=0, crashes_seen=2)
+        assert row.notes == ""
+
+
+class TestVendorAblation:
+    def test_vendor_crashes_only_on_hardware(self):
+        from repro.experiments.ablations import ablate_vendor_layer
+
+        rows = ablate_vendor_layer()
+        hardware = next(r for r in rows if "vendor layer" in r.device_label)
+        emulator = next(r for r in rows if "no vendor" in r.device_label)
+        # The emulator drops the vendor app entirely...
+        assert emulator.builtin_apps == hardware.builtin_apps - 1
+        # ...so its crashes exist only on hardware: the blind spot the
+        # paper's threats-to-validity section names.
+        assert hardware.vendor_crashing_apps == 1
+        assert emulator.vendor_crashing_apps == 0
+        assert hardware.builtin_crashing_apps > emulator.builtin_crashing_apps

@@ -1,0 +1,85 @@
+"""Tests for the cached study runners and the report entry point."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.config import QUICK
+
+
+class TestCaching:
+    def test_wear_study_is_memoised(self, monkeypatch):
+        calls = []
+
+        def fake_run(config):
+            calls.append(config)
+            return object()
+
+        monkeypatch.setattr(runner, "run_wear_study", fake_run)
+        runner.wear_study.cache_clear()
+        first = runner.wear_study("quick")
+        second = runner.wear_study("quick")
+        assert first is second
+        assert len(calls) == 1
+        runner.wear_study.cache_clear()
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            runner.wear_study("bogus")
+        runner.wear_study.cache_clear()
+
+
+class TestMain:
+    def test_main_validates_config_name(self):
+        with pytest.raises(ValueError):
+            runner.main(["not-a-config"])
+
+    def test_main_prints_report(self, monkeypatch, capsys):
+        monkeypatch.setattr(runner, "full_report", lambda name: f"REPORT[{name}]")
+        assert runner.main(["quick"]) == 0
+        assert "REPORT[quick]" in capsys.readouterr().out
+
+    def test_main_defaults_to_quick(self, monkeypatch, capsys):
+        monkeypatch.setattr(runner, "full_report", lambda name: f"REPORT[{name}]")
+        assert runner.main([]) == 0
+        assert "REPORT[quick]" in capsys.readouterr().out
+
+
+class TestFullReportAssembly:
+    def test_full_report_stitches_all_sections(self, monkeypatch):
+        class FakeWear:
+            intents_sent = 10
+            reboot_count = 2
+
+            def virtual_hours(self):
+                return 1.5
+
+            class summary:  # noqa: N801 - stand-in attribute
+                pass
+
+        # Assembling the real report needs real studies; check the section
+        # list indirectly through the quick study in integration/benchmarks.
+        # Here we only verify the seams: by_name validation and defaults.
+        assert QUICK.name == "quick"
+        assert QUICK.ui_events == 4000
+
+
+class TestJsonCli:
+    def test_json_flag_requires_path(self, capsys):
+        import repro.experiments.runner as runner_module
+
+        assert runner_module.main(["quick", "--json"]) == 2
+
+    def test_json_flag_writes_file(self, monkeypatch, tmp_path, capsys):
+        import repro.experiments.runner as runner_module
+
+        written = {}
+
+        def fake_export(config_name, path=None):
+            written["args"] = (config_name, path)
+            return "{}"
+
+        monkeypatch.setattr(runner_module, "export_json", fake_export)
+        target = str(tmp_path / "out.json")
+        assert runner_module.main(["quick", "--json", target]) == 0
+        assert written["args"] == ("quick", target)
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,165 @@
+"""Tests for the Fuzz Intent Campaign generators (Table I)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.actions import (
+    ALL_ACTIONS,
+    URI_TYPES,
+    is_compatible,
+    is_known_action,
+    is_known_scheme,
+    valid_pairs,
+)
+from repro.android.intent import ComponentName
+from repro.android.uri import Uri
+from repro.qgj.campaigns import (
+    CAMPAIGN_C_ROUNDS,
+    Campaign,
+    campaign_size,
+    generate,
+    table1_rows,
+)
+
+CMP = ComponentName("com.a", "com.a.Main")
+
+
+class TestActionRegistry:
+    def test_over_100_actions(self):
+        # "The fuzzer has over 100 different Actions ... configured."
+        assert len(ALL_ACTIONS) > 100
+        assert len(set(ALL_ACTIONS)) == len(ALL_ACTIONS)
+
+    def test_exactly_12_uri_types(self):
+        assert len(URI_TYPES) == 12
+
+    def test_compatibility_is_consistent(self):
+        from repro.android.actions import URI_SAMPLES, compatible_schemes
+
+        for action in ALL_ACTIONS:
+            for scheme in compatible_schemes(action):
+                uri = Uri.parse(URI_SAMPLES[scheme])
+                assert is_compatible(action, uri)
+
+    def test_none_data_compatible_with_everything(self):
+        assert is_compatible("android.intent.action.VIEW", None)
+        assert is_compatible(None, None)
+
+    def test_valid_pairs_cover_every_action(self):
+        actions = {action for action, _ in valid_pairs()}
+        assert actions == set(ALL_ACTIONS)
+
+    def test_valid_pairs_really_are_valid(self):
+        for action, data in valid_pairs():
+            if data:
+                assert is_compatible(action, Uri.parse(data)), (action, data)
+
+
+class TestGenerators:
+    def test_campaign_a_structure(self):
+        intents = list(generate(Campaign.A, component=CMP))
+        assert len(intents) == len(ALL_ACTIONS) * len(URI_TYPES)
+        for fi in intents:
+            assert is_known_action(fi.action)
+            assert is_known_scheme(Uri.parse(fi.data).scheme)
+            assert not fi.extras
+
+    def test_campaign_a_contains_invalid_combinations(self):
+        intents = list(generate(Campaign.A, component=CMP))
+        invalid = [
+            fi for fi in intents if not is_compatible(fi.action, Uri.parse(fi.data))
+        ]
+        assert invalid, "semi-valid campaign must contain invalid pairs"
+
+    def test_campaign_b_one_field_only(self):
+        intents = list(generate(Campaign.B, component=CMP))
+        assert len(intents) == len(ALL_ACTIONS) + len(URI_TYPES)
+        for fi in intents:
+            assert (fi.action is None) != (fi.data is None)
+            assert not fi.extras
+
+    def test_campaign_c_one_side_garbage(self):
+        intents = list(generate(Campaign.C, component=CMP))
+        assert len(intents) == CAMPAIGN_C_ROUNDS * (len(ALL_ACTIONS) + len(URI_TYPES))
+        for fi in intents:
+            action_known = is_known_action(fi.action)
+            data_known = is_known_scheme(Uri.parse(fi.data).scheme) if fi.data else False
+            assert action_known or data_known
+            assert fi.action is not None and fi.data is not None
+
+    def test_campaign_d_valid_pairs_with_extras(self):
+        intents = list(generate(Campaign.D, component=CMP))
+        for fi in intents:
+            assert is_known_action(fi.action)
+            if fi.data:
+                assert is_compatible(fi.action, Uri.parse(fi.data))
+            assert 1 <= len(fi.extras) <= 5
+
+    def test_deterministic_per_component_and_seed(self):
+        a = [fi for fi in generate(Campaign.D, seed=1, component=CMP)]
+        b = [fi for fi in generate(Campaign.D, seed=1, component=CMP)]
+        assert a == b
+
+    def test_different_components_get_different_randoms(self):
+        other = ComponentName("com.b", "com.b.Main")
+        a = list(generate(Campaign.C, seed=1, component=CMP))
+        b = list(generate(Campaign.C, seed=1, component=other))
+        assert a != b
+
+    def test_stride_subsamples(self):
+        full = list(generate(Campaign.B, component=CMP))
+        half = list(generate(Campaign.B, component=CMP, stride=2))
+        assert len(half) == (len(full) + 1) // 2
+        assert half == full[::2]
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            list(generate(Campaign.B, component=CMP, stride=0))
+
+    def test_campaign_a_stride_12_keeps_every_action(self):
+        # The quick config's structural guarantee.
+        intents = list(generate(Campaign.A, component=CMP, stride=12))
+        assert {fi.action for fi in intents} == set(ALL_ACTIONS)
+
+    def test_campaign_c_stride_2_keeps_every_valid_action(self):
+        intents = list(generate(Campaign.C, component=CMP, stride=2))
+        valid_actions = {fi.action for fi in intents if is_known_action(fi.action)}
+        assert valid_actions == set(ALL_ACTIONS)
+
+    @given(st.sampled_from(list(Campaign)), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_campaign_size_matches_generator(self, campaign, stride):
+        generated = sum(1 for _ in generate(campaign, component=CMP, stride=stride))
+        assert generated == campaign_size(campaign, stride)
+
+    def test_build_sets_component(self):
+        fi = next(iter(generate(Campaign.A, component=CMP)))
+        intent = fi.build(CMP)
+        assert intent.component == CMP
+        assert intent.is_explicit()
+
+    def test_extras_reach_the_intent(self):
+        for fi in generate(Campaign.D, component=CMP):
+            intent = fi.build(CMP)
+            assert len(intent.extras) == len(fi.extras)
+            break
+
+
+class TestTable1:
+    def test_rows_cover_all_campaigns(self):
+        rows = table1_rows()
+        assert [row["campaign"] for row in rows] == list(Campaign)
+        for row in rows:
+            assert row["intents_per_component"] > 0
+            assert "cmp=some.component.name" in row["example"]
+
+    def test_volume_ordering_matches_paper(self):
+        # Paper: A (~1M) >> C (~300K) > D (~250K) > B (~100K).
+        sizes = {row["campaign"]: row["intents_per_component"] for row in table1_rows()}
+        assert sizes[Campaign.A] > sizes[Campaign.C] > sizes[Campaign.D] > sizes[Campaign.B]
+
+    def test_paper_scale_total_volume(self):
+        # ~2261 intents x 912 components ~ 2M, the paper's "over a million
+        # and half intents ... to over 900 components".
+        per_component = sum(campaign_size(c) for c in Campaign)
+        assert 1_500_000 < per_component * 912 < 2_500_000

@@ -1,0 +1,77 @@
+"""Tests for the fuzzer result records."""
+
+from repro.android.component import ComponentKind
+from repro.qgj.campaigns import Campaign
+from repro.qgj.results import AppRunResult, ComponentRunResult, FuzzSummary
+
+
+def component_result(sent=10, crashes=0, security=0, rebooted=False):
+    return ComponentRunResult(
+        component="com.a/.Main",
+        kind=ComponentKind.ACTIVITY,
+        campaign=Campaign.A,
+        sent=sent,
+        delivered=sent - security,
+        security_exceptions=security,
+        crashes_seen=crashes,
+        rebooted=rebooted,
+    )
+
+
+class TestComponentRunResult:
+    def test_merge_counts(self):
+        result = component_result(sent=10, crashes=2, security=3)
+        counts = result.merge_counts()
+        assert counts["sent"] == 10
+        assert counts["crashes_seen"] == 2
+        assert counts["security_exceptions"] == 3
+
+
+class TestAppRunResult:
+    def test_aggregates(self):
+        app = AppRunResult(package="com.a", campaign=Campaign.A)
+        app.components.append(component_result(sent=5, crashes=1))
+        app.components.append(component_result(sent=7, crashes=2, rebooted=True))
+        assert app.sent == 12
+        assert app.crashes_seen == 3
+        assert app.rebooted
+
+    def test_empty_app(self):
+        app = AppRunResult(package="com.a", campaign=Campaign.B)
+        assert app.sent == 0
+        assert not app.rebooted
+
+
+class TestFuzzSummary:
+    def _summary(self):
+        summary = FuzzSummary(device="watch")
+        app_a = AppRunResult(package="com.a", campaign=Campaign.A)
+        app_a.components.append(component_result(sent=10, crashes=1, security=4))
+        app_b = AppRunResult(
+            package="com.b", campaign=Campaign.D, aborted_by_reboot=True
+        )
+        app_b.components.append(component_result(sent=3, crashes=3, rebooted=True))
+        summary.apps.extend([app_a, app_b])
+        return summary
+
+    def test_totals(self):
+        summary = self._summary()
+        assert summary.total_sent == 13
+        assert summary.total_security_exceptions == 4
+        assert summary.total_crashes_seen == 4
+        assert summary.total_reboots == 1
+
+    def test_wire_is_json_safe(self):
+        import json
+
+        wire = self._summary().to_wire()
+        round_tripped = json.loads(json.dumps(wire))
+        assert round_tripped["total_sent"] == 13
+        assert round_tripped["apps"][1]["aborted_by_reboot"] is True
+        assert round_tripped["apps"][0]["campaign"] == "A"
+
+    def test_render_counts_unique_apps(self):
+        summary = self._summary()
+        summary.apps.append(AppRunResult(package="com.a", campaign=Campaign.B))
+        text = summary.render()
+        assert "apps fuzzed:         2" in text

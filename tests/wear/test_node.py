@@ -1,0 +1,147 @@
+"""Tests for the wearable network (MessageAPI / DataAPI / pairing)."""
+
+import pytest
+
+from repro.android.jtypes import IllegalStateException
+from repro.wear.device import PhoneDevice, WearDevice, pair
+from repro.wear.node import (
+    ERROR_DISCONNECTED,
+    ERROR_UNKNOWN_NODE,
+    SUCCESS,
+    BluetoothLink,
+    DataClient,
+    MessageClient,
+    WearableNode,
+)
+
+
+@pytest.fixture
+def paired():
+    phone = PhoneDevice("phone")
+    watch = WearDevice("watch")
+    link = pair(phone, watch)
+    return phone, watch, link
+
+
+class TestMessageClient:
+    def test_send_and_receive(self, paired):
+        phone, watch, _ = paired
+        received = []
+        watch.node.add_message_listener("/qgj", lambda e: received.append(e))
+        client = MessageClient(phone.node)
+        status = client.send_message(watch.node.node_id, "/qgj/start", b"payload")
+        assert status == SUCCESS
+        assert len(received) == 1
+        assert received[0].payload == b"payload"
+        assert received[0].source_node == phone.node.node_id
+
+    def test_path_prefix_filtering(self, paired):
+        phone, watch, _ = paired
+        qgj, other = [], []
+        watch.node.add_message_listener("/qgj", lambda e: qgj.append(e))
+        watch.node.add_message_listener("/other", lambda e: other.append(e))
+        MessageClient(phone.node).send_message(watch.node.node_id, "/qgj/x", b"")
+        assert len(qgj) == 1 and len(other) == 0
+
+    def test_path_must_start_with_slash(self, paired):
+        phone, watch, _ = paired
+        with pytest.raises(IllegalStateException):
+            MessageClient(phone.node).send_message(watch.node.node_id, "qgj", b"")
+
+    def test_disconnected_link(self, paired):
+        phone, watch, link = paired
+        link.disconnect()
+        status = MessageClient(phone.node).send_message(watch.node.node_id, "/x", b"")
+        assert status == ERROR_DISCONNECTED
+        link.reconnect()
+        assert MessageClient(phone.node).send_message(watch.node.node_id, "/x", b"") == SUCCESS
+
+    def test_unknown_node(self, paired):
+        phone, watch, _ = paired
+        from repro.wear.node import NodeId
+
+        status = MessageClient(phone.node).send_message(NodeId("node-nope"), "/x", b"")
+        assert status == ERROR_UNKNOWN_NODE
+
+    def test_latency_advances_sender_clock(self, paired):
+        phone, watch, _ = paired
+        before = phone.clock.now_ms()
+        MessageClient(phone.node).send_message(watch.node.node_id, "/x", b"")
+        assert phone.clock.now_ms() == before + 40.0
+
+    def test_connected_nodes(self, paired):
+        phone, watch, link = paired
+        assert MessageClient(phone.node).connected_nodes() == [watch.node.node_id]
+        link.disconnect()
+        assert MessageClient(phone.node).connected_nodes() == []
+
+    def test_unpaired_node_has_no_peers(self):
+        node = WearableNode("lonely", PhoneDevice("p").clock)
+        assert MessageClient(node).connected_nodes() == []
+
+
+class TestDataClient:
+    def test_put_replicates_to_peer(self, paired):
+        phone, watch, _ = paired
+        DataClient(watch.node).put_data_item("/qgj/summary", {"crashes": 3})
+        item = phone.node.get_data_item("/qgj/summary")
+        assert item is not None
+        assert item.data == {"crashes": 3}
+        assert item.source_node == watch.node.node_id
+
+    def test_data_listeners_fire(self, paired):
+        phone, watch, _ = paired
+        seen = []
+        phone.node.add_data_listener("/qgj", lambda item: seen.append(item.path))
+        DataClient(watch.node).put_data_item("/qgj/summary", {})
+        assert seen == ["/qgj/summary"]
+
+    def test_put_is_local_even_when_disconnected(self, paired):
+        phone, watch, link = paired
+        link.disconnect()
+        status = DataClient(watch.node).put_data_item("/x", {"a": 1})
+        assert status == ERROR_DISCONNECTED
+        assert watch.node.get_data_item("/x") is not None
+        assert phone.node.get_data_item("/x") is None
+
+    def test_data_is_value_copied(self, paired):
+        phone, watch, _ = paired
+        payload = {"n": 1}
+        DataClient(watch.node).put_data_item("/x", payload)
+        payload["n"] = 2
+        assert phone.node.get_data_item("/x").data == {"n": 1}
+
+    def test_items_sorted_by_path(self, paired):
+        _, watch, _ = paired
+        client = DataClient(watch.node)
+        client.put_data_item("/b", {})
+        client.put_data_item("/a", {})
+        assert [i.path for i in watch.node.data_items()] == ["/a", "/b"]
+
+
+class TestPairing:
+    def test_pair_logs_on_both(self, paired):
+        phone, watch, _ = paired
+        assert "paired with node-watch" in phone.adb.logcat()
+        assert "paired with node-phone" in watch.adb.logcat()
+
+    def test_self_link_rejected(self):
+        phone = PhoneDevice("p")
+        with pytest.raises(ValueError):
+            BluetoothLink(phone.node, phone.node)
+
+    def test_peer_of_foreign_node_rejected(self, paired):
+        _, _, link = paired
+        foreign = WearableNode("x", PhoneDevice("q").clock)
+        with pytest.raises(ValueError):
+            link.peer_of(foreign)
+
+    def test_screen_geometries(self, paired):
+        phone, watch, _ = paired
+        assert (watch.screen_width, watch.screen_height) == (400, 400)
+        assert (phone.screen_width, phone.screen_height) == (1440, 2560)
+
+    def test_wear_services_registered(self, paired):
+        _, watch, _ = paired
+        for service in ("ambient", "fit", "complications", "wearable_message", "sensor"):
+            assert watch.has_system_service(service), service

@@ -1,0 +1,258 @@
+"""Tests for ambient mode, Google Fit, complications, and wear widgets."""
+
+import warnings
+
+import pytest
+
+from repro.android.intent import ComponentName, Intent
+from repro.android.jtypes import (
+    ArithmeticException,
+    DeadObjectException,
+    IllegalArgumentException,
+    IllegalStateException,
+    IndexOutOfBoundsException,
+    NullPointerException,
+)
+from repro.wear.ambient import DisplayState
+from repro.wear.complications import (
+    EXTRA_PROVIDER_INFO,
+    ComplicationManager,
+    ComplicationProviderInfo,
+    ComplicationType,
+    provider_info_from_intent,
+)
+from repro.wear.device import WearDevice
+from repro.wear.fit import (
+    DATA_TYPE_HEART_RATE,
+    DATA_TYPE_STEP_COUNT,
+    DataPoint,
+)
+from repro.wear.ui_widgets import (
+    GridPagerAdapter,
+    GridViewPager,
+    Notification,
+    NotificationStream,
+    WatchFace,
+)
+
+
+@pytest.fixture
+def watch():
+    return WearDevice("watch")
+
+
+class TestAmbient:
+    def test_state_machine(self, watch):
+        watch.ambient.enter_ambient()
+        assert watch.ambient.state == DisplayState.AMBIENT
+        watch.ambient.exit_ambient()
+        assert watch.ambient.state == DisplayState.INTERACTIVE
+
+    def test_double_enter_raises_ise(self, watch):
+        watch.ambient.enter_ambient()
+        with pytest.raises(IllegalStateException):
+            watch.ambient.enter_ambient()
+
+    def test_exit_without_enter_raises_ise(self, watch):
+        with pytest.raises(IllegalStateException):
+            watch.ambient.exit_ambient()
+
+    def test_bind_bookkeeping(self, watch):
+        watch.ambient.bind("com.face")
+        assert watch.ambient.is_bound("com.face")
+        assert watch.ambient.bind_count["com.face"] == 1
+        watch.ambient.unbind("com.face")
+        assert not watch.ambient.is_bound("com.face")
+
+    def test_unbind_unbound_raises_ise(self, watch):
+        with pytest.raises(IllegalStateException):
+            watch.ambient.unbind("com.nope")
+
+    def test_expect_binder_registers_with_system_server(self, watch):
+        watch.ambient.expect_binder("com.builtin.face")
+        assert "com.builtin.face" in watch.ambient.expected_binders()
+        assert "com.builtin.face" in watch.system_server._ambient_binders
+
+    def test_reset_keeps_expectations(self, watch):
+        watch.ambient.expect_binder("com.face")
+        watch.ambient.bind("com.face")
+        watch.ambient.enter_ambient()
+        watch.ambient.reset()
+        assert watch.ambient.state == DisplayState.INTERACTIVE
+        assert not watch.ambient.is_bound("com.face")
+        assert "com.face" in watch.ambient.expected_binders()
+
+
+class TestGoogleFit:
+    def test_session_lifecycle(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        session = client.start_session("running")
+        assert session.active
+        stopped = client.stop_session()
+        assert stopped is session and not session.active
+
+    def test_double_start_raises_ise(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        client.start_session("running")
+        with pytest.raises(IllegalStateException):
+            client.start_session("walking")
+
+    def test_stop_without_start_raises_ise(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        with pytest.raises(IllegalStateException):
+            client.stop_session()
+
+    def test_null_activity_type_raises_npe(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        with pytest.raises(NullPointerException):
+            client.start_session(None)
+
+    def test_empty_activity_type_raises_iae(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        with pytest.raises(IllegalArgumentException):
+            client.start_session("")
+
+    def test_sessions_are_per_package(self, watch):
+        a = watch.get_system_service("fit", "com.a")
+        b = watch.get_system_service("fit", "com.b")
+        a.start_session("running")
+        b.start_session("walking")  # no ISE: different package
+
+    def test_subscribe_registers_sensor_listener(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        client.subscribe(DATA_TYPE_HEART_RATE)
+        assert watch.sensor_service.has_listeners("com.health")
+
+    def test_subscribe_unknown_type_raises_iae(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        with pytest.raises(IllegalArgumentException):
+            client.subscribe("com.nope.type")
+
+    def test_dead_sensor_service_propagates(self, watch):
+        watch.sensor_service.process.kill()
+        client = watch.get_system_service("fit", "com.health")
+        with pytest.raises(DeadObjectException):
+            client.start_session("running")
+
+    def test_history_and_daily_steps(self, watch):
+        service = watch.fit_service
+        watch.clock.sleep(1000)
+        service.insert(DataPoint(DATA_TYPE_STEP_COUNT, watch.clock.now_ms(), 500))
+        service.insert(DataPoint(DATA_TYPE_STEP_COUNT, watch.clock.now_ms(), 250))
+        client = watch.get_system_service("fit", "com.health")
+        assert client.read_daily_steps() == 750
+
+    def test_bad_time_range_raises_iae(self, watch):
+        with pytest.raises(IllegalArgumentException):
+            watch.fit_service.read_history(DATA_TYPE_STEP_COUNT, 100, 50)
+
+    def test_reboot_closes_sessions(self, watch):
+        client = watch.get_system_service("fit", "com.health")
+        session = client.start_session("running")
+        watch.perform_reboot("test")
+        assert not session.active
+
+
+class TestComplications:
+    def _info(self):
+        return ComplicationProviderInfo(
+            provider=ComponentName("com.fit", "com.fit.StepsProvider"),
+            supported_types=(ComplicationType.SHORT_TEXT, ComplicationType.RANGED_VALUE),
+        )
+
+    def test_round_trip_through_extra(self):
+        info = self._info()
+        intent = Intent("a").put_extra(EXTRA_PROVIDER_INFO, info.to_extra())
+        parsed = provider_info_from_intent(intent)
+        assert parsed == info
+
+    def test_missing_extra_returns_none(self):
+        assert provider_info_from_intent(Intent("a")) is None
+
+    def test_malformed_extra_raises_iae(self):
+        intent = Intent("a").put_extra(EXTRA_PROVIDER_INFO, "garbage")
+        with pytest.raises(IllegalArgumentException):
+            provider_info_from_intent(intent)
+
+    def test_bad_types_raise_iae(self):
+        intent = Intent("a").put_extra(
+            EXTRA_PROVIDER_INFO, {"provider": "a/b", "types": [999]}
+        )
+        with pytest.raises(IllegalArgumentException):
+            provider_info_from_intent(intent)
+
+    def test_manager_registry(self):
+        manager = ComplicationManager()
+        info = self._info()
+        manager.register(info)
+        assert manager.provider_for(info.provider) == info
+        assert manager.providers_supporting(ComplicationType.SHORT_TEXT) == [info]
+        assert manager.providers_supporting(ComplicationType.ICON) == []
+        manager.unregister(info.provider)
+        assert len(manager) == 0
+
+
+class TestGridViewPager:
+    def test_deprecation_warning(self):
+        adapter = GridPagerAdapter([["p"]])
+        with pytest.warns(DeprecationWarning):
+            GridViewPager(adapter)
+
+    def _pager(self, pages):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return GridViewPager(GridPagerAdapter(pages))
+
+    def test_normal_paging(self):
+        pager = self._pager([["a", "b", "c"]])
+        assert pager.page_for_scroll_offset(0, 0) == "a"
+        assert pager.page_for_scroll_offset(0, 640) == "c"
+
+    def test_divide_by_zero_on_empty_row(self):
+        # The paper's ArithmeticException crash: zero columns in a row.
+        pager = self._pager([[]])
+        with pytest.raises(ArithmeticException) as excinfo:
+            pager.page_for_scroll_offset(0, 100)
+        assert excinfo.value.message == "divide by zero"
+        assert any("GridViewPager" in str(f) for f in excinfo.value.frames)
+
+    def test_null_adapter_raises_npe(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(NullPointerException):
+                GridViewPager(None)
+
+    def test_out_of_bounds(self):
+        pager = self._pager([["a"]])
+        with pytest.raises(IndexOutOfBoundsException):
+            pager.set_current_item(5, 0)
+
+
+class TestNotificationsAndWatchFace:
+    def test_post_and_dismiss(self):
+        stream = NotificationStream()
+        stream.post(Notification("com.a", "Title", "Body"))
+        assert len(stream) == 1
+        assert stream.dismiss("com.a", "Title")
+        assert not stream.dismiss("com.a", "Title")
+
+    def test_null_title_raises_npe(self):
+        with pytest.raises(NullPointerException):
+            NotificationStream().post(Notification("com.a", None, "Body"))
+
+    def test_dismiss_all(self):
+        stream = NotificationStream()
+        stream.post(Notification("com.a", "One", ""))
+        stream.post(Notification("com.a", "Two", ""))
+        stream.post(Notification("com.b", "Three", ""))
+        assert stream.dismiss_all("com.a") == 2
+        assert len(stream) == 1
+
+    def test_watch_face_render(self):
+        face = WatchFace("Classic")
+        face.update_complication(0, "8,500 steps")
+        assert "8,500 steps" in face.render("10:00")
+
+    def test_watch_face_null_complication(self):
+        with pytest.raises(NullPointerException):
+            WatchFace("Classic").update_complication(0, None)
