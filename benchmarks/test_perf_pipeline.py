@@ -6,8 +6,13 @@ intent injection throughput, log parsing, and study folding -- the numbers
 that determine how long a paper-scale (~2M intent) run takes.
 """
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
+from repro import telemetry
 from repro.analysis.logparse import parse_events
 from repro.analysis.manifest import StudyCollector
 from repro.apps.catalog import build_wear_corpus
@@ -48,6 +53,45 @@ def test_injection_throughput(benchmark, installed_watch):
 
     result = benchmark(run)
     assert result.sent == 141
+
+
+def test_telemetry_overhead(installed_watch):
+    """Measure injection throughput with telemetry off vs on.
+
+    Writes ``BENCH_telemetry.json`` at the repo root so the overhead of the
+    observability plane is tracked alongside the figure/table benches.  The
+    disabled path must stay within a few percent of the uninstrumented
+    baseline -- that is the zero-overhead-by-default contract.
+    """
+    corpus, watch = installed_watch
+    fuzzer = FuzzerLibrary(watch)
+    info = watch.packages.get_package("com.runmate.wear").activities()[1]
+    config = FuzzConfig(max_intents_per_component=141)
+    rounds = 20
+
+    def measure():
+        start = time.perf_counter()
+        sent = 0
+        for _ in range(rounds):
+            sent += fuzzer.fuzz_component(info, Campaign.B, config).sent
+        return sent / (time.perf_counter() - start)
+
+    measure()  # warm caches before timing either variant
+    off_rate = measure()
+    with telemetry.session():
+        on_rate = measure()
+
+    payload = {
+        "bench": "telemetry_overhead",
+        "intents_per_round": 141,
+        "rounds": rounds,
+        "intents_per_sec_telemetry_off": round(off_rate, 1),
+        "intents_per_sec_telemetry_on": round(on_rate, 1),
+        "overhead_ratio": round(off_rate / on_rate, 3),
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert off_rate > 0 and on_rate > 0
 
 
 def test_log_parsing_throughput(benchmark, installed_watch):

@@ -18,8 +18,11 @@ The package is organised as the paper's system is:
   for every table and figure in the paper.
 * :mod:`repro.experiments` -- end-to-end experiment harnesses at quick and
   paper scale.
+* :mod:`repro.telemetry` -- the campaign's own monitoring plane: metrics,
+  injection-span tracing, heartbeats, and the ``dumpsys telemetry`` /
+  Prometheus exposition layer (off by default, free when off).
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["android", "wear", "apps", "qgj", "analysis", "experiments"]
+__all__ = ["android", "wear", "apps", "qgj", "analysis", "experiments", "telemetry"]

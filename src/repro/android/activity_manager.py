@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tuple
 
+from repro import telemetry
 from repro.android.component import (
     Activity,
     ActivityState,
@@ -54,6 +55,7 @@ from repro.android.process import (
     ProcessRecord,
     ProcessTable,
 )
+from repro.telemetry.metrics import AM_DISPATCHES, ANR_LATENCY
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.android.device import Device
@@ -120,10 +122,20 @@ class ActivityManager:
     def add_health_hooks(self, hooks: SystemHealthHooks) -> None:
         self._health_hooks.append(hooks)
 
+    def _count_dispatch(self, entry: str) -> None:
+        self.dispatch_count += 1
+        t = telemetry.get()
+        if t.enabled:
+            t.metrics.counter(
+                AM_DISPATCHES,
+                "Intent dispatches through ActivityManagerService, by entry point.",
+                ("entry",),
+            ).labels(entry=entry).inc()
+
     # -- public API -----------------------------------------------------------------
     def start_activity(self, caller_package: str, intent: Intent) -> DispatchResult:
         """``Context.startActivity``: resolve, check, deliver, contain."""
-        self.dispatch_count += 1
+        self._count_dispatch("start_activity")
         info = self._resolve_activity(intent)
         if info is None:
             raise ActivityNotFoundException(
@@ -146,7 +158,7 @@ class ActivityManager:
         simulator introspection used by the fuzzer's in-flight counters
         (the authoritative classification still comes from logcat).
         """
-        self.dispatch_count += 1
+        self._count_dispatch("start_service")
         info = self._resolve_service(intent)
         if info is None:
             # Matching the framework: unknown service logs and returns null.
@@ -169,7 +181,7 @@ class ActivityManager:
         matching exported receiver.  Returns the number of receivers that
         got the intent.
         """
-        self.dispatch_count += 1
+        self._count_dispatch("send_broadcast")
         if not self._permissions.may_send_action(caller_package, intent.action):
             detail = (
                 f"broadcasting protected action {intent.action} from {caller_package}"
@@ -209,7 +221,7 @@ class ActivityManager:
 
     def bind_service(self, caller_package: str, intent: Intent) -> bool:
         """``Context.bindService``: True when binding was initiated."""
-        self.dispatch_count += 1
+        self._count_dispatch("bind_service")
         info = self._resolve_service(intent)
         if info is None:
             return False
@@ -436,6 +448,14 @@ class ActivityManager:
             )
             self._logcat.anr(proc.name, proc.pid, info.name.flatten_to_short_string(), reason)
             proc.record_anr(task.description, cost)
+            t = telemetry.get()
+            if t.enabled:
+                t.metrics.histogram(
+                    ANR_LATENCY,
+                    "Main-thread blockage (virtual ms) measured when the ANR"
+                    " watchdog fired.",
+                    ("package",),
+                ).labels(package=info.package).observe(cost)
             # The blocked main thread stalls the process for the whole window.
             proc.clock.sleep(min(cost, 4 * self.anr_timeout_ms))
             for hooks in self._health_hooks:

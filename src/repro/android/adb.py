@@ -97,6 +97,8 @@ class Adb:
             return self._am(args)
         if tool == "pm":
             return self._pm(args)
+        if tool == "dumpsys":
+            return self._dumpsys(args)
         if tool == "monkey":
             return ShellResult(
                 exit_code=2,
@@ -206,6 +208,38 @@ class Adb:
         width = getattr(self._device, "screen_width", 1440)
         height = getattr(self._device, "screen_height", 2560)
         return 0 <= x < width and 0 <= y < height
+
+    # -- dumpsys ----------------------------------------------------------------
+    def _dumpsys(self, args: List[str]) -> ShellResult:
+        """``dumpsys [-l | telemetry [--prometheus]]``.
+
+        Keeping with the repo's "observe the system the way Android exposes
+        it" discipline: campaign telemetry is read back through the same
+        shell surface the study reads logcat through.
+        """
+        from repro import telemetry
+        from repro.telemetry import exporters
+
+        if not args or args[0] == "-l":
+            return ShellResult(
+                exit_code=0, output="Currently running services:\n  telemetry"
+            )
+        service, rest = args[0], args[1:]
+        if service != "telemetry":
+            return ShellResult(exit_code=1, output=f"Can't find service: {service}")
+        t = telemetry.get()
+        if not t.enabled:
+            return ShellResult(
+                exit_code=0,
+                output=(
+                    "TELEMETRY (disabled)\n"
+                    "Enable with repro.telemetry.enable() or the runner's"
+                    " --telemetry flag."
+                ),
+            )
+        if "--prometheus" in rest:
+            return ShellResult(exit_code=0, output=exporters.render_prometheus(t.metrics))
+        return ShellResult(exit_code=0, output=exporters.render_summary(t))
 
     # -- am ----------------------------------------------------------------------
     def _am(self, args: List[str]) -> ShellResult:

@@ -13,8 +13,20 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
+from repro import telemetry
 from repro.android.jtypes import DeadObjectException, IllegalArgumentException
 from repro.android.process import ProcessRecord
+from repro.telemetry.metrics import BINDER_TRANSACTIONS
+
+
+def _count_transaction(descriptor: str, outcome: str) -> None:
+    t = telemetry.get()
+    if t.enabled:
+        t.metrics.counter(
+            BINDER_TRANSACTIONS,
+            "Binder transactions, by interface descriptor and outcome.",
+            ("descriptor", "outcome"),
+        ).labels(descriptor=descriptor, outcome=outcome).inc()
 
 
 class IBinder:
@@ -39,14 +51,17 @@ class IBinder:
     def transact(self, code: str, *args: Any, **kwargs: Any) -> Any:
         """Perform a transaction; raises on dead owner or unknown code."""
         if not self._owner.alive:
+            _count_transaction(self.descriptor, "dead_object")
             raise DeadObjectException(
                 f"Transaction failed on {self.descriptor}: process {self._owner.name} is dead"
             )
         handler = self._handlers.get(code)
         if handler is None:
+            _count_transaction(self.descriptor, "unknown_code")
             raise IllegalArgumentException(
                 f"Unknown transaction code {code!r} on {self.descriptor}"
             )
+        _count_transaction(self.descriptor, "ok")
         return handler(*args, **kwargs)
 
     def link_to_death(self, recipient: Callable[[ProcessRecord], None]) -> None:

@@ -23,8 +23,10 @@ import enum
 from collections import deque
 from typing import Deque, Iterable, Iterator, List, Optional
 
+from repro import telemetry
 from repro.android.clock import Clock
 from repro.android.jtypes import NativeSignal, Throwable
+from repro.telemetry.metrics import LOGCAT_BUFFERED, LOGCAT_DROPPED, LOGCAT_WRITTEN
 
 
 class Level(enum.Enum):
@@ -111,10 +113,14 @@ class Logcat:
         """Append one record per line of *message*."""
         if tid is None:
             tid = pid
-        at_capacity = self._records.maxlen is not None and len(self._records) == self._records.maxlen
+        maxlen = self._records.maxlen
+        written = 0
+        dropped_now = 0
         for line in message.split("\n"):
-            if at_capacity:
-                self._dropped += 1
+            # Eviction is decided per appended line: a multi-line message can
+            # cross the capacity boundary (or fill the ring mid-call).
+            if maxlen is not None and len(self._records) == maxlen:
+                dropped_now += 1
             self._records.append(
                 LogRecord(
                     time_ms=self._clock.now_ms(),
@@ -125,6 +131,19 @@ class Logcat:
                     message=line,
                 )
             )
+            written += 1
+        self._dropped += dropped_now
+        t = telemetry.get()
+        if t.enabled:
+            metrics = t.metrics
+            metrics.counter(LOGCAT_WRITTEN, "Log records appended to logcat.").inc(written)
+            if dropped_now:
+                metrics.counter(
+                    LOGCAT_DROPPED, "Log records evicted by the logcat ring buffer."
+                ).inc(dropped_now)
+            metrics.gauge(
+                LOGCAT_BUFFERED, "Log records currently held in the logcat ring buffer."
+            ).set(len(self._records))
 
     def v(self, tag: str, message: str, pid: int = 0) -> None:
         self.write(Level.VERBOSE, tag, message, pid)

@@ -13,6 +13,7 @@ import functools
 import sys
 from typing import Optional
 
+from repro import telemetry
 from repro.analysis import figures, report, tables
 from repro.experiments.config import ExperimentConfig, by_name
 from repro.experiments.phone_experiment import PhoneStudyResult, run_phone_study
@@ -84,23 +85,61 @@ def export_json(config_name: str = "quick", path: Optional[str] = None) -> str:
     return dump_json(results, path=path)
 
 
+USAGE = """\
+usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
+
+Runs the three reproduced studies (wear, phone, QGJ-UI) and prints every
+table and figure of the paper's evaluation.
+
+options:
+  quick|paper      experiment scale (default: quick)
+  --json FILE      write the machine-readable study export instead
+  --telemetry DIR  enable campaign telemetry and export metrics.prom,
+                   trace.jsonl and summary.txt under DIR
+  -h, --help       show this message\
+"""
+
+
+def _take_flag_value(args: list, flag: str) -> Optional[str]:
+    """Pop ``flag VALUE`` from *args*; raises ValueError when VALUE is missing."""
+    if flag not in args:
+        return None
+    index = args.index(flag)
+    if index + 1 >= len(args):
+        raise ValueError(f"missing value for {flag}")
+    value = args[index + 1]
+    del args[index : index + 2]
+    return value
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    json_path: Optional[str] = None
-    if "--json" in args:
-        index = args.index("--json")
-        if index + 1 >= len(args):
-            print("usage: python -m repro [quick|paper] [--json FILE]", file=sys.stderr)
-            return 2
-        json_path = args[index + 1]
-        del args[index : index + 2]
+    if "-h" in args or "--help" in args:
+        print(USAGE)
+        return 0
+    try:
+        json_path = _take_flag_value(args, "--json")
+        telemetry_dir = _take_flag_value(args, "--telemetry")
+    except ValueError as exc:
+        print(f"{exc}\n{USAGE}", file=sys.stderr)
+        return 2
     config_name = args[0] if args else "quick"
     by_name(config_name)  # validate early
+    handle: Optional[telemetry.Telemetry] = None
+    if telemetry_dir is not None:
+        handle = telemetry.enable()
+        handle.progress.add_listener(lambda snap: print(snap.render(), file=sys.stderr))
     if json_path is not None:
         export_json(config_name, path=json_path)
         print(f"wrote {json_path}")
-        return 0
-    print(full_report(config_name))
+    else:
+        print(full_report(config_name))
+    if handle is not None:
+        from repro.telemetry.exporters import export_snapshot
+
+        written = export_snapshot(telemetry_dir, handle)
+        for name, path in sorted(written.items()):
+            print(f"wrote {path}")
     return 0
 
 

@@ -15,9 +15,11 @@ Reproduces the paper's main experiment end to end:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from typing import List, Optional, Sequence
 
+from repro import telemetry
 from repro.analysis.manifest import StudyCollector
 from repro.apps.catalog import Corpus, build_wear_corpus
 from repro.experiments.config import QUICK, ExperimentConfig
@@ -72,12 +74,22 @@ def run_wear_study(
     if packages is None:
         packages = [app.package.package for app in corpus.apps]
     adb.logcat_clear()
-    for package_name in packages:
-        for campaign in campaigns:
-            app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
-            summary.apps.append(app_result)
-            collector.fold(adb.logcat(), package_name, campaign.value)
-            adb.logcat_clear()
+    t = telemetry.get()
+    with contextlib.ExitStack() as stack:
+        if t.enabled:
+            # The study's virtual time is the watch's clock from here on.
+            t.set_clock(watch.clock)
+            stack.enter_context(
+                t.tracer.span(
+                    "study", clock=watch.clock, study="wear", config=config.name
+                )
+            )
+        for package_name in packages:
+            for campaign in campaigns:
+                app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
+                summary.apps.append(app_result)
+                collector.fold(adb.logcat(), package_name, campaign.value)
+                adb.logcat_clear()
     return WearStudyResult(
         collector=collector,
         summary=summary,

@@ -20,14 +20,17 @@ which is also why each observed reboot appears exactly once per run.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from typing import Iterable, List, Optional, Sequence
 
+from repro import telemetry
 from repro.android.component import ComponentInfo, ComponentKind
 from repro.android.device import Device
 from repro.android.jtypes import ActivityNotFoundException, SecurityException
 from repro.qgj.campaigns import Campaign, FuzzIntent, generate
 from repro.qgj.results import AppRunResult, ComponentRunResult, FuzzSummary
+from repro.telemetry.metrics import INTENTS_INJECTED
 
 #: Package identity under which QGJ injects (unprivileged, as in the paper).
 QGJ_WEAR_PACKAGE = "com.qgj.wear"
@@ -110,30 +113,59 @@ class FuzzerLibrary:
         )
         clock = self._device.clock
         boots_before = self._device.boot_count
-        for fuzz_intent in generate(
-            campaign,
-            seed=config.seed,
-            component=info.name,
-            stride=config.stride_for(campaign),
-        ):
-            if (
-                config.max_intents_per_component is not None
-                and result.sent >= config.max_intents_per_component
+        t = telemetry.get()
+        with contextlib.ExitStack() as stack:
+            if t.enabled:
+                stack.enter_context(
+                    t.tracer.span(
+                        "component",
+                        clock=clock,
+                        component=result.component,
+                        kind=info.kind.value,
+                        campaign=campaign.value,
+                    )
+                )
+                intents = t.metrics.counter(
+                    INTENTS_INJECTED,
+                    "Intents injected by the QGJ fuzzer, by final outcome.",
+                    ("campaign", "package", "outcome"),
+                )
+            for fuzz_intent in generate(
+                campaign,
+                seed=config.seed,
+                component=info.name,
+                stride=config.stride_for(campaign),
             ):
-                break
-            self._inject(info, fuzz_intent, result)
-            clock.sleep(config.intent_delay_ms)
-            if result.sent % config.batch_size == 0:
-                clock.sleep(config.batch_delay_ms)
-            if self._device.boot_count != boots_before:
-                result.rebooted = True
-                result.aborted = True
-                break
+                if (
+                    config.max_intents_per_component is not None
+                    and result.sent >= config.max_intents_per_component
+                ):
+                    break
+                if t.enabled:
+                    with t.tracer.span(
+                        "injection", clock=clock, seq=result.sent + 1
+                    ) as span:
+                        outcome = self._inject(info, fuzz_intent, result)
+                        span.set_attribute("outcome", outcome)
+                    intents.labels(
+                        campaign=campaign.value, package=info.package, outcome=outcome
+                    ).inc()
+                    t.progress.count_injection()
+                else:
+                    self._inject(info, fuzz_intent, result)
+                clock.sleep(config.intent_delay_ms)
+                if result.sent % config.batch_size == 0:
+                    clock.sleep(config.batch_delay_ms)
+                if self._device.boot_count != boots_before:
+                    result.rebooted = True
+                    result.aborted = True
+                    break
         return result
 
     def _inject(
         self, info: ComponentInfo, fuzz_intent: FuzzIntent, result: ComponentRunResult
-    ) -> None:
+    ) -> str:
+        """Send one intent; returns the outcome label used by telemetry."""
         intent = fuzz_intent.build(info.name)
         am = self._device.activity_manager
         result.sent += 1
@@ -144,19 +176,24 @@ class FuzzerLibrary:
                 name, dispatch = am.start_service_with_result(self.sender_package, intent)
                 if name is None:
                     result.not_found += 1
-                    return
+                    return "not_found"
         except SecurityException:
             result.security_exceptions += 1
-            return
+            return "security_exception"
         except ActivityNotFoundException:
             result.not_found += 1
-            return
+            return "not_found"
         if dispatch.delivered:
             result.delivered += 1
         if dispatch.crashed:
             result.crashes_seen += 1
         if dispatch.anr:
             result.anrs_seen += 1
+        if dispatch.crashed:
+            return "crash"
+        if dispatch.anr:
+            return "anr"
+        return "delivered" if dispatch.delivered else "dropped"
 
     # -- whole app ------------------------------------------------------------------
     def fuzz_app(
@@ -175,14 +212,29 @@ class FuzzerLibrary:
             raise ValueError(f"package not installed: {package_name}")
         app_result = AppRunResult(package=package_name, campaign=campaign)
         wanted = set(kinds)
-        for info in package.components:
-            if info.kind not in wanted:
-                continue
-            component_result = self.fuzz_component(info, campaign, config)
-            app_result.components.append(component_result)
-            if component_result.rebooted:
-                app_result.aborted_by_reboot = True
-                break
+        t = telemetry.get()
+        with contextlib.ExitStack() as stack:
+            if t.enabled:
+                clock = self._device.clock
+                stack.enter_context(
+                    t.tracer.span("campaign", clock=clock, campaign=campaign.value)
+                )
+                stack.enter_context(
+                    t.tracer.span(
+                        "package",
+                        clock=clock,
+                        package=package_name,
+                        campaign=campaign.value,
+                    )
+                )
+            for info in package.components:
+                if info.kind not in wanted:
+                    continue
+                component_result = self.fuzz_component(info, campaign, config)
+                app_result.components.append(component_result)
+                if component_result.rebooted:
+                    app_result.aborted_by_reboot = True
+                    break
         return app_result
 
     def fuzz_app_all_campaigns(

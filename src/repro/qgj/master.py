@@ -163,6 +163,9 @@ class QGJMobile:
             "max_intents_per_component": config.max_intents_per_component,
             "seed": config.seed,
         }
+        # Drop any previous run's summary first: a run that fails to report
+        # must raise below, not silently return stale results.
+        self.last_summary = None
         status = self._message_client.send_message(
             self.watch_node_id, PATH_START_FUZZ, json.dumps(request).encode()
         )

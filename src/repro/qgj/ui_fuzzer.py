@@ -22,14 +22,17 @@ app-process deaths.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import random
 import string
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.android.device import Device
 from repro.qgj.monkey import Monkey, MonkeyEvent, parse_monkey_log
+from repro.telemetry.metrics import UI_CRASHES, UI_EVENTS, UI_EXCEPTIONS
 
 _RANDOM_ASCII = string.ascii_letters + string.digits + "$@!%.:#?&=_-"
 
@@ -171,23 +174,55 @@ class QGJUi:
         logcat = self._device.logcat
         result = UiInjectionResult(mode=mode)
         log_mark = len(logcat)
-        for event in events:
-            mutant = mutator.mutate(event, mode)
-            shell_line = event_to_shell(mutant)
-            shell_result = adb.shell(shell_line)
-            result.injected_events += 1
-            if shell_result.reached_app:
-                result.reached_app += 1
-            if shell_result.caused_crash:
-                result.crashes += 1
-            if shell_result.tool_exception is not None:
-                if not shell_result.caused_crash and not _is_security(
-                    shell_result.tool_exception
-                ):
-                    result.tool_exceptions += 1
-            self._device.clock.sleep(pacing_ms)
+        t = telemetry.get()
+        with contextlib.ExitStack() as stack:
+            if t.enabled:
+                stack.enter_context(
+                    t.tracer.span("ui_replay", clock=self._device.clock, mode=mode)
+                )
+            for event in events:
+                mutant = mutator.mutate(event, mode)
+                shell_line = event_to_shell(mutant)
+                shell_result = adb.shell(shell_line)
+                result.injected_events += 1
+                if shell_result.reached_app:
+                    result.reached_app += 1
+                if shell_result.caused_crash:
+                    result.crashes += 1
+                if shell_result.tool_exception is not None:
+                    if not shell_result.caused_crash and not _is_security(
+                        shell_result.tool_exception
+                    ):
+                        result.tool_exceptions += 1
+                self._device.clock.sleep(pacing_ms)
         result.app_exceptions = _count_app_exceptions(logcat, log_mark)
+        if t.enabled:
+            self._count_replay(t, events, result)
         return result
+
+    @staticmethod
+    def _count_replay(
+        t, events: Sequence[MonkeyEvent], result: UiInjectionResult
+    ) -> None:
+        metrics = t.metrics
+        injected = metrics.counter(
+            UI_EVENTS, "Mutated UI events replayed through adb shell.", ("mode", "kind")
+        )
+        tally: Dict[str, int] = defaultdict(int)
+        for event in events:
+            tally[event.kind] += 1
+        for kind, n in sorted(tally.items()):
+            injected.labels(mode=result.mode, kind=kind).inc(n)
+        metrics.counter(
+            UI_CRASHES, "App crashes caused by replayed UI events.", ("mode",)
+        ).labels(mode=result.mode).inc(result.crashes)
+        exceptions = metrics.counter(
+            UI_EXCEPTIONS,
+            "Exceptions raised by replayed UI events (tool- or app-side).",
+            ("mode", "source"),
+        )
+        exceptions.labels(mode=result.mode, source="tool").inc(result.tool_exceptions)
+        exceptions.labels(mode=result.mode, source="app").inc(result.app_exceptions)
 
 
 def _is_security(throwable) -> bool:

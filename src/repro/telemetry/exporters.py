@@ -1,0 +1,134 @@
+"""Exposition: Prometheus text format, JSONL traces, and a summary table.
+
+Three consumers, three formats:
+
+* ``render_prometheus`` -- the `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_, for
+  scraping or diffing campaign runs;
+* ``spans_to_jsonl`` -- one finished span per line, newest window of the
+  tracer's ring buffer, for offline trace analysis;
+* ``render_summary`` -- the human-readable table behind
+  ``adb shell dumpsys telemetry``.
+
+``export_snapshot`` writes all three next to each other, which is what the
+runner's ``--telemetry DIR`` flag calls.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.telemetry import Telemetry
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labels, child in metric.samples():
+                cumulative = child.cumulative_counts()
+                for bound, count in zip(child.buckets, cumulative):
+                    le = _render_labels(labels, {"le": _format_value(bound)})
+                    lines.append(f"{metric.name}_bucket{le} {count}")
+                inf = _render_labels(labels, {"le": "+Inf"})
+                lines.append(f"{metric.name}_bucket{inf} {child.count}")
+                lines.append(
+                    f"{metric.name}_sum{_render_labels(labels)} {_format_value(child.sum)}"
+                )
+                lines.append(f"{metric.name}_count{_render_labels(labels)} {child.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            for labels, child in metric.samples():
+                lines.append(
+                    f"{metric.name}{_render_labels(labels)} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_to_jsonl(tracer: Tracer) -> str:
+    """Finished spans, one JSON object per line (oldest retained first)."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True) for span in tracer.spans())
+
+
+def parse_jsonl_spans(text: str) -> List[Dict[str, object]]:
+    """Inverse of :func:`spans_to_jsonl` (used by tests and trace tooling)."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def render_summary(telemetry: "Telemetry") -> str:
+    """The ``dumpsys telemetry`` table: every series, then tracer health."""
+    registry = telemetry.metrics
+    lines = ["TELEMETRY (dumpsys-style snapshot)", ""]
+    lines.append(f"{'METRIC':<44} {'KIND':<10} {'SERIES':>6} {'VALUE':>14}")
+    for metric in registry.collect():
+        if isinstance(metric, Histogram):
+            series = sum(1 for _ in metric.samples())
+            value = f"n={metric.total_count()}"
+        elif isinstance(metric, Counter):
+            series = sum(1 for _ in metric.samples())
+            value = _format_value(metric.total())
+        else:
+            samples = list(metric.samples())
+            series = len(samples)
+            value = _format_value(sum(child.value for _, child in samples))
+        lines.append(f"{metric.name:<44} {metric.kind:<10} {series:>6} {value:>14}")
+    if len(registry) == 0:
+        lines.append("(no series recorded yet)")
+    tracer = telemetry.tracer
+    lines.append("")
+    lines.append(
+        f"spans: {len(tracer)} retained, {tracer.dropped} dropped,"
+        f" {tracer.open_depth} open"
+    )
+    heartbeat = telemetry.progress.last_snapshot
+    if heartbeat is not None:
+        lines.append(heartbeat.render())
+    return "\n".join(lines)
+
+
+def export_snapshot(directory: str, telemetry: "Telemetry") -> Dict[str, str]:
+    """Write metrics.prom, trace.jsonl and summary.txt under *directory*.
+
+    Returns ``{artifact name: path written}``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    artifacts = {
+        "metrics.prom": render_prometheus(telemetry.metrics),
+        "trace.jsonl": spans_to_jsonl(telemetry.tracer),
+        "summary.txt": render_summary(telemetry),
+    }
+    written: Dict[str, str] = {}
+    for name, content in artifacts.items():
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content if content.endswith("\n") or not content else content + "\n")
+        written[name] = path
+    return written

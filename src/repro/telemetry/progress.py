@@ -1,0 +1,149 @@
+"""Campaign heartbeats: periodic snapshots for paper-scale runs.
+
+A paper-scale campaign is ~2M injections; without a heartbeat the operator
+stares at a silent process for minutes.  The fuzzer ticks this hub once per
+injection (only when telemetry is enabled); every *every_injections* ticks
+the hub assembles a :class:`Snapshot` from the metrics registry -- intents
+so far, throughput against both clocks, manifestation counts -- and hands
+it to every registered listener.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, List, Optional
+
+from repro.telemetry.metrics import INTENTS_INJECTED, MetricsRegistry
+
+#: Default heartbeat cadence, in injections.
+DEFAULT_EVERY_INJECTIONS = 1000
+
+
+@dataclasses.dataclass(frozen=True)
+class Snapshot:
+    """One heartbeat's view of the running campaign."""
+
+    injections: int
+    wall_elapsed_s: float
+    virtual_elapsed_ms: Optional[float]
+    #: Injections per wall-clock second since telemetry was enabled.
+    wall_rate: float
+    #: Injections per *virtual* second (how fast the simulated study ran).
+    virtual_rate: Optional[float]
+    crashes: int
+    anrs: int
+    security_exceptions: int
+
+    def render(self) -> str:
+        virtual = (
+            f"{self.virtual_elapsed_ms / 1000.0:.0f}s virtual"
+            if self.virtual_elapsed_ms is not None
+            else "no virtual clock"
+        )
+        vrate = f"{self.virtual_rate:.1f}/vs" if self.virtual_rate is not None else "-"
+        return (
+            f"[telemetry] {self.injections} intents in {self.wall_elapsed_s:.1f}s wall"
+            f" ({virtual}) | {self.wall_rate:.0f}/s wall, {vrate}"
+            f" | crashes={self.crashes} anrs={self.anrs}"
+            f" denials={self.security_exceptions}"
+        )
+
+
+Listener = Callable[[Snapshot], None]
+
+
+class Heartbeat:
+    """Counts injections and emits snapshots on a fixed cadence."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        every_injections: int = DEFAULT_EVERY_INJECTIONS,
+        clock=None,
+    ) -> None:
+        if every_injections < 1:
+            raise ValueError(f"heartbeat cadence must be >= 1, got {every_injections}")
+        self._registry = registry
+        self.every_injections = every_injections
+        self._listeners: List[Listener] = []
+        self._injections = 0
+        self._start_wall_s = time.perf_counter()
+        self._clock = clock
+        self._start_virtual_ms = clock.now_ms() if clock is not None else None
+        self.last_snapshot: Optional[Snapshot] = None
+
+    def set_clock(self, clock) -> None:
+        """Attach the device clock; virtual elapsed time starts here."""
+        self._clock = clock
+        self._start_virtual_ms = clock.now_ms() if clock is not None else None
+
+    def add_listener(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    # -- ticking ---------------------------------------------------------------
+    def count_injection(self) -> None:
+        """One injection happened; emit a snapshot every Nth call."""
+        self._injections += 1
+        if self._injections % self.every_injections == 0:
+            self.emit()
+
+    def emit(self) -> Snapshot:
+        """Assemble a snapshot now and notify listeners."""
+        snapshot = self.snapshot()
+        self.last_snapshot = snapshot
+        for listener in self._listeners:
+            listener(snapshot)
+        return snapshot
+
+    def snapshot(self) -> Snapshot:
+        wall_elapsed = max(time.perf_counter() - self._start_wall_s, 1e-9)
+        virtual_elapsed: Optional[float] = None
+        virtual_rate: Optional[float] = None
+        if self._clock is not None and self._start_virtual_ms is not None:
+            virtual_elapsed = self._clock.now_ms() - self._start_virtual_ms
+            if virtual_elapsed > 0:
+                virtual_rate = self._injections / (virtual_elapsed / 1000.0)
+        intents = self._registry.get(INTENTS_INJECTED)
+        crashes = anrs = denials = 0
+        if intents is not None:
+            crashes = int(intents.total_where(outcome="crash"))
+            anrs = int(intents.total_where(outcome="anr"))
+            denials = int(intents.total_where(outcome="security_exception"))
+        return Snapshot(
+            injections=self._injections,
+            wall_elapsed_s=wall_elapsed,
+            virtual_elapsed_ms=virtual_elapsed,
+            wall_rate=self._injections / wall_elapsed,
+            virtual_rate=virtual_rate,
+            crashes=crashes,
+            anrs=anrs,
+            security_exceptions=denials,
+        )
+
+    @property
+    def injections(self) -> int:
+        return self._injections
+
+
+class NoopHeartbeat:
+    """Disabled twin of :class:`Heartbeat`."""
+
+    enabled = False
+    every_injections = 0
+    injections = 0
+    last_snapshot = None
+
+    def set_clock(self, clock) -> None:
+        pass
+
+    def add_listener(self, listener: Listener) -> None:
+        pass
+
+    def count_injection(self) -> None:
+        pass
+
+
+NOOP_HEARTBEAT = NoopHeartbeat()

@@ -211,3 +211,48 @@ class TestLogcat:
         log.handled_exception("AppTag", 9, exc, context="while parsing")
         lines = log.dump_lines()
         assert any("W AppTag: while parsing: java.lang.NullPointerException" in l for l in lines)
+
+
+class TestDroppedAccounting:
+    """Eviction must be counted per appended line (regression).
+
+    ``write()`` used to compute ``at_capacity`` once before the per-line
+    loop, so a multi-line message crossing the capacity boundary (or filling
+    the ring mid-call) undercounted ``dropped``.
+    """
+
+    def make(self, capacity=None):
+        clock = Clock()
+        return clock, Logcat(clock, capacity=capacity)
+
+    def test_multiline_message_crossing_capacity_boundary(self):
+        _, log = self.make(capacity=3)
+        log.i("T", "a")
+        log.i("T", "b")
+        # Two records buffered; a 2-line message crosses the boundary:
+        # line 1 fits, line 2 evicts one record.
+        log.i("T", "c\nd")
+        assert len(log) == 3
+        assert log.dropped == 1
+
+    def test_single_message_filling_ring_mid_call(self):
+        _, log = self.make(capacity=3)
+        # 5 lines into an empty 3-slot ring: lines 4 and 5 evict.
+        log.i("T", "l1\nl2\nl3\nl4\nl5")
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert "l5" in log.dump()
+        assert "l1" not in log.dump()
+
+    def test_multiline_at_capacity_counts_every_line(self):
+        _, log = self.make(capacity=2)
+        log.i("T", "a")
+        log.i("T", "b")
+        log.i("T", "c\nd\ne")
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_unbounded_buffer_never_drops(self):
+        _, log = self.make()
+        log.i("T", "a\nb\nc")
+        assert log.dropped == 0

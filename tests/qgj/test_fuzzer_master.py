@@ -192,3 +192,20 @@ class TestMasterProtocol:
         phone, watch, _, _ = deployed
         assert watch.packages.is_installed("com.qgj.wear")
         assert phone.packages.is_installed("com.qgj.mobile")
+
+    def test_stale_summary_not_returned_when_run_fails_to_report(self, deployed):
+        """A run that never reports must raise, not echo the previous summary.
+
+        Regression: ``start_fuzz`` used to leave ``last_summary`` from the
+        prior run in place, so a silent wearable-side failure returned stale
+        results as if they were fresh.
+        """
+        _, watch, mobile, wear = deployed
+        config = FuzzConfig(max_intents_per_component=2)
+        first = mobile.start_fuzz(["com.runmate.wear"], campaigns="B", config=config)
+        assert first["total_sent"] > 0
+        # The wearable stops shipping summaries back over the DataAPI.
+        wear._data_client.put_data_item = lambda path, data: None
+        with pytest.raises(RuntimeError, match="no summary received"):
+            mobile.start_fuzz(["com.runmate.wear"], campaigns="B", config=config)
+        assert mobile.last_summary is None

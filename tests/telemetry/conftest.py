@@ -1,0 +1,11 @@
+"""Telemetry tests toggle the process-wide handle; always restore it."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_disabled_after():
+    yield
+    telemetry.disable()

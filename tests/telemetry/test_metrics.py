@@ -1,0 +1,145 @@
+"""Counter/Gauge/Histogram semantics, labels, and the noop twin."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.metrics import (
+    DEFAULT_MS_BUCKETS,
+    MetricsRegistry,
+    NoopRegistry,
+)
+
+
+class TestCounter:
+    def test_unlabeled_inc(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c.total() == 5
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total", "", ("campaign", "outcome"))
+        c.labels(campaign="A", outcome="crash").inc()
+        c.labels(campaign="A", outcome="crash").inc()
+        c.labels(campaign="B", outcome="crash").inc()
+        assert c.labels(campaign="A", outcome="crash").value == 2
+        assert c.labels(campaign="B", outcome="crash").value == 1
+        assert c.total() == 3
+        assert c.total_where(campaign="A") == 2
+        assert c.total_where(outcome="crash") == 3
+        assert c.total_where(campaign="C") == 0
+
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total", "", ("campaign",))
+        with pytest.raises(ValueError):
+            c.labels(package="x")
+        with pytest.raises(ValueError):
+            c.inc()  # labeled metric needs .labels()
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("buffer_records")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.labels().value == 12
+
+
+class TestHistogram:
+    def test_observations_land_in_one_bucket_each(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency_ms", "", buckets=(10, 100, 1000))
+        child = h.labels()
+        for value in (5, 50, 500, 5000):
+            h.observe(value)
+        assert child.counts == [1, 1, 1]  # 5000 is above the last bound
+        assert child.cumulative_counts() == [1, 2, 3]
+        assert child.count == 4
+        assert child.sum == 5555
+
+    def test_default_buckets_are_virtual_ms_aware(self):
+        # The simulator's own constants must fall inside distinct buckets.
+        assert 100 in DEFAULT_MS_BUCKETS  # intent pacing
+        assert 5000 in DEFAULT_MS_BUCKETS  # ANR window
+        assert 20000 in DEFAULT_MS_BUCKETS  # max main-thread stall
+        assert 30000 in DEFAULT_MS_BUCKETS  # boot duration
+        assert list(DEFAULT_MS_BUCKETS) == sorted(DEFAULT_MS_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(10, 5))
+
+
+class TestRegistry:
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "help", ("x",))
+        b = registry.counter("c_total", "other help", ("x",))
+        assert a is b
+
+    def test_conflicting_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("x",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "", ("y",))
+        with pytest.raises(ValueError):
+            registry.gauge("c_total")
+
+    def test_collect_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.gauge("a")
+        assert [m.name for m in registry.collect()] == ["a", "b_total"]
+
+
+class TestNoop:
+    def test_noop_registry_absorbs_everything(self):
+        registry = NoopRegistry()
+        c = registry.counter("c_total", "", ("x",))
+        c.labels(x="1").inc()
+        registry.histogram("h").observe(5)
+        registry.gauge("g").set(1)
+        assert len(registry) == 0
+        assert registry.get("c_total") is None
+        assert list(registry.collect()) == []
+
+    def test_global_handle_disabled_by_default(self):
+        t = telemetry.get()
+        assert not t.enabled
+        assert not telemetry.enabled()
+        # Instrument calls through the disabled handle are free no-ops.
+        t.metrics.counter("x_total").inc()
+        assert len(t.metrics) == 0
+
+    def test_enable_disable_cycle(self):
+        handle = telemetry.enable()
+        assert telemetry.get() is handle
+        assert handle.enabled
+        handle.metrics.counter("x_total").inc()
+        # A fresh enable starts from zero.
+        fresh = telemetry.enable()
+        assert fresh.metrics.get("x_total") is None
+        telemetry.disable()
+        assert not telemetry.get().enabled
+
+    def test_session_context_manager(self):
+        with telemetry.session() as t:
+            assert telemetry.get() is t
+            assert t.enabled
+        assert not telemetry.get().enabled

@@ -1,0 +1,99 @@
+"""Heartbeat cadence, snapshot contents, and throughput rates."""
+
+import pytest
+
+from repro.android.clock import Clock
+from repro.telemetry.metrics import INTENTS_INJECTED, MetricsRegistry
+from repro.telemetry.progress import Heartbeat, NoopHeartbeat
+
+
+def make_hub(every=10, clock=None):
+    registry = MetricsRegistry()
+    hub = Heartbeat(registry, every_injections=every, clock=clock)
+    return registry, hub
+
+
+class TestCadence:
+    def test_emits_every_nth_injection(self):
+        _, hub = make_hub(every=10)
+        seen = []
+        hub.add_listener(seen.append)
+        for _ in range(35):
+            hub.count_injection()
+        assert [snap.injections for snap in seen] == [10, 20, 30]
+        assert hub.last_snapshot is seen[-1]
+
+    def test_cadence_validated(self):
+        with pytest.raises(ValueError):
+            make_hub(every=0)
+
+    def test_manual_emit(self):
+        _, hub = make_hub(every=1000)
+        hub.count_injection()
+        snap = hub.emit()
+        assert snap.injections == 1
+        assert hub.last_snapshot is snap
+
+
+class TestSnapshot:
+    def test_rates_against_both_clocks(self):
+        clock = Clock()
+        _, hub = make_hub(every=5, clock=clock)
+        for _ in range(10):
+            hub.count_injection()
+        clock.sleep(2000)  # 2 virtual seconds
+        snap = hub.snapshot()
+        assert snap.injections == 10
+        assert snap.virtual_elapsed_ms == 2000
+        assert snap.virtual_rate == pytest.approx(5.0)  # 10 per 2 virtual s
+        assert snap.wall_rate > 0
+        assert snap.wall_elapsed_s > 0
+
+    def test_no_clock_means_no_virtual_rate(self):
+        _, hub = make_hub()
+        hub.count_injection()
+        snap = hub.snapshot()
+        assert snap.virtual_elapsed_ms is None
+        assert snap.virtual_rate is None
+        assert "no virtual clock" in snap.render()
+
+    def test_outcome_counts_read_from_registry(self):
+        registry, hub = make_hub()
+        counter = registry.counter(
+            INTENTS_INJECTED, "", ("campaign", "package", "outcome")
+        )
+        counter.labels(campaign="A", package="x", outcome="crash").inc(3)
+        counter.labels(campaign="B", package="x", outcome="crash").inc(2)
+        counter.labels(campaign="A", package="x", outcome="anr").inc(4)
+        counter.labels(campaign="A", package="x", outcome="security_exception").inc(5)
+        snap = hub.snapshot()
+        assert snap.crashes == 5
+        assert snap.anrs == 4
+        assert snap.security_exceptions == 5
+
+    def test_render_mentions_throughput(self):
+        clock = Clock()
+        _, hub = make_hub(clock=clock)
+        hub.count_injection()
+        clock.sleep(1000)
+        text = hub.snapshot().render()
+        assert "1 intents" in text
+        assert "crashes=0" in text
+
+    def test_set_clock_rebases_virtual_start(self):
+        clock = Clock()
+        clock.sleep(5000)
+        _, hub = make_hub()
+        hub.set_clock(clock)
+        clock.sleep(1000)
+        assert hub.snapshot().virtual_elapsed_ms == 1000
+
+
+class TestNoopHeartbeat:
+    def test_absorbs_everything(self):
+        hub = NoopHeartbeat()
+        hub.count_injection()
+        hub.add_listener(lambda snap: None)
+        hub.set_clock(Clock())
+        assert hub.injections == 0
+        assert hub.last_snapshot is None
