@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tuple
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.android.component import (
     Activity,
     ActivityState,
@@ -111,6 +111,11 @@ class ActivityManager:
         #: Live component instances keyed by (process name, component string).
         self._live: Dict[tuple, Component] = {}
         self.dispatch_count = 0
+        #: >0 while a component lifecycle is running; transport faults only
+        #: fire on outermost dispatches, so behaviour-internal calls (which
+        #: the real binder driver would also reach over in-process paths)
+        #: never see an injected failure mid-lifecycle.
+        self._dispatch_depth = 0
         #: The activity currently holding window focus (for UI events).
         self.foreground: Optional[ComponentInfo] = None
 
@@ -132,9 +137,23 @@ class ActivityManager:
                 ("entry",),
             ).labels(entry=entry).inc()
 
+    def _transport_fault_check(self) -> None:
+        """Fire a due binder transport fault on an *outermost* dispatch.
+
+        The fuzzer's transaction into ``IActivityManager`` is the IPC edge
+        the chaos plane severs; once a lifecycle is executing, nested
+        dispatches stay in-process and are not faulted here.
+        """
+        if self._dispatch_depth > 0:
+            return
+        plane = faults.get()
+        if plane.armed:
+            plane.on_transact(self._device.clock, "android.app.IActivityManager")
+
     # -- public API -----------------------------------------------------------------
     def start_activity(self, caller_package: str, intent: Intent) -> DispatchResult:
         """``Context.startActivity``: resolve, check, deliver, contain."""
+        self._transport_fault_check()
         self._count_dispatch("start_activity")
         info = self._resolve_activity(intent)
         if info is None:
@@ -158,6 +177,7 @@ class ActivityManager:
         simulator introspection used by the fuzzer's in-flight counters
         (the authoritative classification still comes from logcat).
         """
+        self._transport_fault_check()
         self._count_dispatch("start_service")
         info = self._resolve_service(intent)
         if info is None:
@@ -422,7 +442,11 @@ class ActivityManager:
             run=lifecycle,
             duration_ms=0.5,
         )
-        thrown = proc.run_main_task(task)
+        self._dispatch_depth += 1
+        try:
+            thrown = proc.run_main_task(task)
+        finally:
+            self._dispatch_depth -= 1
         if thrown is not None:
             if not thrown.frames:
                 thrown.frames = [

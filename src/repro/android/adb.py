@@ -26,6 +26,7 @@ import dataclasses
 import shlex
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from repro import faults
 from repro.android.intent import (
     CATEGORY_LAUNCHER,
     ComponentName,
@@ -72,18 +73,33 @@ class Adb:
     def __init__(self, device: "Device") -> None:
         self._device = device
 
+    def _session(self) -> None:
+        """Chaos-plane entry point shared by every adb operation.
+
+        A due session-drop fault raises :class:`AdbSessionDropped` here,
+        before the command reaches the device -- the caller (QGJ's retry
+        layer) reconnects and retries, exactly like the paper's operators
+        nursing a flaky ``adb`` link.
+        """
+        plane = faults.get()
+        if plane.armed:
+            plane.on_adb(self._device)
+
     # -- logcat -----------------------------------------------------------------
     def logcat(self) -> str:
         """``adb logcat -d``: dump the full buffer."""
+        self._session()
         return self._device.logcat.dump()
 
     def logcat_clear(self) -> None:
         """``adb logcat -c``."""
+        self._session()
         self._device.logcat.clear()
 
     # -- shell ------------------------------------------------------------------
     def shell(self, command: str) -> ShellResult:
         """Run one shell command line."""
+        self._session()
         try:
             argv = shlex.split(command)
         except ValueError as exc:

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro import telemetry
-from repro.android.jtypes import DeadObjectException, IllegalArgumentException
+from repro import faults, telemetry
+from repro.android.jtypes import DeadObjectException, IllegalArgumentException, Throwable
 from repro.android.process import ProcessRecord
 from repro.telemetry.metrics import BINDER_TRANSACTIONS
 
@@ -50,6 +50,16 @@ class IBinder:
 
     def transact(self, code: str, *args: Any, **kwargs: Any) -> Any:
         """Perform a transaction; raises on dead owner or unknown code."""
+        plane = faults.get()
+        if plane.armed:
+            # A due transport fault fails the transaction before it reaches
+            # the remote -- DeadObjectException / TransactionTooLargeException
+            # exactly as the kernel driver would surface them.
+            try:
+                plane.on_transact(self._owner.clock, self.descriptor)
+            except Throwable:
+                _count_transaction(self.descriptor, "transport_fault")
+                raise
         if not self._owner.alive:
             _count_transaction(self.descriptor, "dead_object")
             raise DeadObjectException(

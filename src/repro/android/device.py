@@ -30,6 +30,11 @@ BOOT_DURATION_MS = 30_000.0
 ServiceProvider = Callable[["Device", str], Any]
 
 
+def _sensor_service_provider(device: "Device", package: str) -> SensorManager:
+    """Module-level provider so ``Device`` state stays picklable."""
+    return SensorManager(device.sensor_service, package)
+
+
 class Device:
     """One simulated Android device (phone or, via subclass, wearable)."""
 
@@ -46,7 +51,7 @@ class Device:
         self.logcat = Logcat(self.clock, capacity=logcat_capacity)
         self.permissions = PermissionManager()
         self.packages = PackageManager(self.permissions)
-        self.processes = ProcessTable(self.clock)
+        self.processes = ProcessTable(self.clock, logcat=self.logcat)
         self.activity_manager = ActivityManager(
             device=self,
             packages=self.packages,
@@ -60,10 +65,7 @@ class Device:
         self.sensor_service = SensorService(self.processes, self.logcat)
         self.system_server.attach_sensor_service(self.sensor_service)
         self._service_providers: Dict[str, ServiceProvider] = {}
-        self.register_system_service(
-            "sensor",
-            lambda device, package: SensorManager(device.sensor_service, package),
-        )
+        self.register_system_service("sensor", _sensor_service_provider)
         self.boot_count = 1
         #: True only while a reboot is tearing processes down.
         self.rebooting = False

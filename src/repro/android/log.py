@@ -225,6 +225,26 @@ class Logcat:
     def grep(self, needle: str) -> List[LogRecord]:
         return [r for r in self._records if needle in r.message or needle in r.tag]
 
+    def truncate_oldest(self, count: int) -> None:
+        """Discard the *count* oldest records (chaos-plane buffer loss).
+
+        Unlike ring eviction this is silent data loss injected by the fault
+        plane, but it is accounted identically: the records count as
+        dropped, and the telemetry gauge tracks the shrunken buffer.
+        """
+        count = min(count, len(self._records))
+        for _ in range(count):
+            self._records.popleft()
+        self._dropped += count
+        t = telemetry.get()
+        if t.enabled and count:
+            t.metrics.counter(
+                LOGCAT_DROPPED, "Log records evicted by the logcat ring buffer."
+            ).inc(count)
+            t.metrics.gauge(
+                LOGCAT_BUFFERED, "Log records currently held in the logcat ring buffer."
+            ).set(len(self._records))
+
     def clear(self) -> None:
         self._records.clear()
         self._dropped = 0

@@ -25,6 +25,7 @@ import itertools
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
+from repro import faults
 from repro.android.clock import Clock
 from repro.android.jtypes import Throwable
 
@@ -176,12 +177,23 @@ class ProcessRecord:
 
 
 class ProcessTable:
-    """The device's table of live processes, keyed by process name."""
+    """The device's table of live processes, keyed by process name.
 
-    def __init__(self, clock: Clock) -> None:
+    *logcat*, when provided, receives the ``lowmemorykiller`` lines emitted
+    for chaos-plane lmkd kills (the analysis parser ignores the tag, so the
+    study's classification never keys on them).
+    """
+
+    def __init__(self, clock: Clock, logcat=None) -> None:
         self._clock = clock
+        self._logcat = logcat
         self._processes: dict[str, ProcessRecord] = {}
         self.total_started = 0
+        self.lmkd_kills = 0
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
 
     def get(self, name: str) -> Optional[ProcessRecord]:
         proc = self._processes.get(name)
@@ -196,6 +208,12 @@ class ProcessTable:
         is_system: bool = False,
         is_native: bool = False,
     ) -> ProcessRecord:
+        plane = faults.get()
+        if plane.armed:
+            # lmkd runs before the lookup: a due low-memory kill may reap
+            # the very process being asked for, which then restarts cold --
+            # exactly Android's behaviour under memory pressure.
+            plane.on_process_table(self)
         proc = self.get(name)
         if proc is None:
             proc = ProcessRecord(
@@ -208,6 +226,18 @@ class ProcessTable:
             self._processes[name] = proc
             self.total_started += 1
         return proc
+
+    def lmkd_kill(self, victim: ProcessRecord) -> None:
+        """Reap *victim* the way the low-memory killer daemon would."""
+        if not victim.alive:
+            return
+        self.lmkd_kills += 1
+        if self._logcat is not None:
+            self._logcat.i(
+                "lowmemorykiller",
+                f"Killing '{victim.name}' ({victim.pid}), adj 900, to free memory",
+            )
+        victim.kill("lmkd")
 
     def kill_package(self, package: str, reason: str = "force-stop") -> int:
         """Kill every process belonging to *package*; returns count killed."""

@@ -326,20 +326,27 @@ class BehaviorRegistry:
     def install(self, activity_manager) -> None:
         """Register component factories for every known key."""
         for key, spec in self._specs.items():
-            activity_manager.register_factory(key, _factory_for(spec))
+            activity_manager.register_factory(key, SpecFactory(spec))
 
     def __len__(self) -> int:
         return len(self._specs)
 
 
-def _factory_for(spec: BehaviorSpec):
-    from repro.android.component import ComponentKind
+class SpecFactory:
+    """Picklable component factory bound to one :class:`BehaviorSpec`.
 
-    def factory(info: ComponentInfo, context: "Context"):
+    A class (rather than a closure) so activity managers holding factories
+    survive the chaos plane's checkpoint snapshots.
+    """
+
+    def __init__(self, spec: BehaviorSpec) -> None:
+        self.spec = spec
+
+    def __call__(self, info: ComponentInfo, context: "Context"):
+        from repro.android.component import ComponentKind
+
         if info.kind == ComponentKind.ACTIVITY:
-            return ModeledActivity(info, context, spec)
+            return ModeledActivity(info, context, self.spec)
         if info.kind == ComponentKind.RECEIVER:
-            return ModeledReceiver(info, context, spec)
-        return ModeledService(info, context, spec)
-
-    return factory
+            return ModeledReceiver(info, context, self.spec)
+        return ModeledService(info, context, self.spec)

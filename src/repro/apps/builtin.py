@@ -68,9 +68,7 @@ class GoogleFitAllAppActivity(Activity):
 def google_fit_spec_key(registry: BehaviorRegistry, activity_manager) -> str:
     """Register the Google Fit activity factory; returns its behavior key."""
     key = "builtin.googlefit.allapp"
-    activity_manager.register_factory(
-        key, lambda info, ctx: GoogleFitAllAppActivity(info, ctx)
-    )
+    activity_manager.register_factory(key, GoogleFitAllAppActivity)
     return key
 
 

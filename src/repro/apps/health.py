@@ -25,6 +25,7 @@ code path with an empty page grid.
 
 from __future__ import annotations
 
+import functools
 import warnings
 from typing import TYPE_CHECKING
 
@@ -138,8 +139,17 @@ class GridPagerLegacyActivity(Activity):
         return 1.5
 
 
+def _heart_rate_tracker_factory(info, ctx, wedge_deliveries: int = 25):
+    return HeartRateTrackerService(info, ctx, wedge_deliveries=wedge_deliveries)
+
+
 def register_health_factories(activity_manager, wedge_deliveries: int = 25) -> dict:
-    """Register the custom health components; returns their behavior keys."""
+    """Register the custom health components; returns their behavior keys.
+
+    Factories are module-level callables (plus a :func:`functools.partial`
+    for the wedge threshold) so the activity manager stays picklable for
+    checkpoint snapshots.
+    """
     keys = {
         "heart_rate_service": "health.pulsetrack.tracker",
         "heart_rate_activity": "health.pulsetrack.display",
@@ -147,14 +157,12 @@ def register_health_factories(activity_manager, wedge_deliveries: int = 25) -> d
     }
     activity_manager.register_factory(
         keys["heart_rate_service"],
-        lambda info, ctx: HeartRateTrackerService(info, ctx, wedge_deliveries=wedge_deliveries),
+        functools.partial(_heart_rate_tracker_factory, wedge_deliveries=wedge_deliveries),
     )
     activity_manager.register_factory(
-        keys["heart_rate_activity"],
-        lambda info, ctx: HeartRateDisplayActivity(info, ctx),
+        keys["heart_rate_activity"], HeartRateDisplayActivity
     )
     activity_manager.register_factory(
-        keys["grid_pager_activity"],
-        lambda info, ctx: GridPagerLegacyActivity(info, ctx),
+        keys["grid_pager_activity"], GridPagerLegacyActivity
     )
     return keys

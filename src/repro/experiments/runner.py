@@ -13,27 +13,53 @@ import functools
 import sys
 from typing import Optional
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.analysis import figures, report, tables
 from repro.experiments.config import ExperimentConfig, by_name
 from repro.experiments.phone_experiment import PhoneStudyResult, run_phone_study
 from repro.experiments.ui_experiment import UiStudyResult, run_ui_study
 from repro.experiments.wear_experiment import WearStudyResult, run_wear_study
+from repro.faults.errors import CampaignKilled
+from repro.faults.plan import FaultPlan
 
 
-@functools.lru_cache(maxsize=2)
-def wear_study(config_name: str = "quick") -> WearStudyResult:
-    return run_wear_study(by_name(config_name))
+def _study_cache(fn):
+    """Memoise a study per *effective* configuration.
+
+    The cache key includes the installed fault plan's fingerprint, so a
+    result computed under one plan (or none) is never served to a run under
+    another.  Any extra keyword arguments (journal/resume/kill knobs) make
+    the run stateful and bypass the cache entirely.
+    """
+    cache = {}
+
+    @functools.wraps(fn)
+    def wrapper(config_name: str = "quick", **kwargs):
+        config = by_name(config_name)  # validate before touching the cache
+        if kwargs:
+            return fn(config, **kwargs)
+        key = (config_name, faults.fingerprint())
+        if key not in cache:
+            cache[key] = fn(config)
+        return cache[key]
+
+    wrapper.cache_clear = cache.clear
+    return wrapper
 
 
-@functools.lru_cache(maxsize=2)
-def phone_study(config_name: str = "quick") -> PhoneStudyResult:
-    return run_phone_study(by_name(config_name))
+@_study_cache
+def wear_study(config: ExperimentConfig, **kwargs) -> WearStudyResult:
+    return run_wear_study(config, **kwargs)
 
 
-@functools.lru_cache(maxsize=2)
-def ui_study(config_name: str = "quick") -> UiStudyResult:
-    return run_ui_study(by_name(config_name))
+@_study_cache
+def phone_study(config: ExperimentConfig) -> PhoneStudyResult:
+    return run_phone_study(config)
+
+
+@_study_cache
+def ui_study(config: ExperimentConfig) -> UiStudyResult:
+    return run_ui_study(config)
 
 
 def full_report(config_name: str = "quick") -> str:
@@ -87,6 +113,8 @@ def export_json(config_name: str = "quick", path: Optional[str] = None) -> str:
 
 USAGE = """\
 usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
+                       [--fault-seed N] [--journal FILE | --resume FILE]
+                       [--kill-after N]
 
 Runs the three reproduced studies (wear, phone, QGJ-UI) and prints every
 table and figure of the paper's evaluation.
@@ -96,6 +124,14 @@ options:
   --json FILE      write the machine-readable study export instead
   --telemetry DIR  enable campaign telemetry and export metrics.prom,
                    trace.jsonl and summary.txt under DIR
+  --fault-seed N   arm the chaos plane: inject seeded environment faults
+                   (adb drops, binder failures, lmkd kills, log truncation)
+  --journal FILE   checkpoint the wear study to FILE after every
+                   (package, campaign) segment; prints the study summary
+  --resume FILE    resume a journalled wear study; reproduces the summary
+                   the uninterrupted run would have produced
+  --kill-after N   simulate the host dying after N injections (exit 3,
+                   resumable from the journal)
   -h, --help       show this message\
 """
 
@@ -120,16 +156,46 @@ def main(argv=None) -> int:
     try:
         json_path = _take_flag_value(args, "--json")
         telemetry_dir = _take_flag_value(args, "--telemetry")
+        fault_seed = _take_flag_value(args, "--fault-seed")
+        journal_path = _take_flag_value(args, "--journal")
+        resume_path = _take_flag_value(args, "--resume")
+        kill_after = _take_flag_value(args, "--kill-after")
     except ValueError as exc:
         print(f"{exc}\n{USAGE}", file=sys.stderr)
         return 2
     config_name = args[0] if args else "quick"
     by_name(config_name)  # validate early
+    if fault_seed is not None:
+        faults.install(FaultPlan.chaos(seed=int(fault_seed)))
     handle: Optional[telemetry.Telemetry] = None
     if telemetry_dir is not None:
         handle = telemetry.enable()
         handle.progress.add_listener(lambda snap: print(snap.render(), file=sys.stderr))
-    if json_path is not None:
+    if journal_path is not None or resume_path is not None or kill_after is not None:
+        path = resume_path if resume_path is not None else journal_path
+        if path is None:
+            print(f"--kill-after needs --journal or --resume\n{USAGE}", file=sys.stderr)
+            return 2
+        try:
+            result = wear_study(
+                config_name,
+                journal_path=path,
+                resume=resume_path is not None,
+                kill_after_injections=int(kill_after) if kill_after is not None else None,
+            )
+        except CampaignKilled as exc:
+            print(
+                f"campaign killed after {exc.injections} injections; resume "
+                f"with: python -m repro {config_name} --resume {path}",
+                file=sys.stderr,
+            )
+            return 3
+        print(result.summary.render())
+        print(
+            f"{result.intents_sent} intents, {result.reboot_count} reboots, "
+            f"{result.virtual_hours():.1f} virtual hours"
+        )
+    elif json_path is not None:
         export_json(config_name, path=json_path)
         print(f"wrote {json_path}")
     else:

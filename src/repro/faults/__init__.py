@@ -1,0 +1,123 @@
+"""The chaos plane: seeded environment-fault injection beside the simulator.
+
+The DSN'18 campaigns were operationally fragile -- a reboot mid-run drops
+the adb session and the operator "resumes with the next app".  Cotroneo et
+al. (*Dependability Assessment of the Android OS through Fault Injection*)
+show that OS/IPC-level faults are a failure dimension of their own, distinct
+from app-level intent fuzzing.  This package brings both into the QGJ stack:
+
+* :mod:`repro.faults.plan` -- :class:`FaultPlan(seed=...)`: a deterministic,
+  seeded schedule of adb session drops, binder transport failures, lmkd
+  process kills, and logcat truncation, on the virtual clock;
+* :mod:`repro.faults.plane` -- the installed plane and its hook entry
+  points in ``adb.py`` / ``binder.py`` / ``process.py`` /
+  ``activity_manager.py``;
+* :mod:`repro.faults.retry` -- exponential backoff + seeded jitter for
+  transient transport errors;
+* :mod:`repro.faults.quarantine` -- the per-package circuit breaker;
+* :mod:`repro.faults.journal` -- the crash-safe checkpoint journal behind
+  ``python -m repro quick --resume <journal>``.
+
+**No plan installed means no drift.**  Like telemetry, the default handle is
+a shared no-op whose ``armed`` is ``False``; hooks check that one attribute
+and return.  Installing an *empty* ``FaultPlan`` arms the hooks but fires
+nothing, and is verified (by property test) to produce results identical to
+no plan at all.
+
+Usage::
+
+    from repro import faults
+
+    with faults.session(faults.FaultPlan.chaos(seed=7)):
+        result = run_wear_study(QUICK)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Union
+
+from repro.faults.errors import (
+    TRANSIENT_ERRORS,
+    AdbSessionDropped,
+    CampaignKilled,
+    InfrastructureError,
+)
+from repro.faults.journal import CheckpointJournal, KillSwitch
+from repro.faults.plan import (
+    CHAOS_INTERVALS_MS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    PlanExecution,
+)
+from repro.faults.plane import NOOP_PLANE, FaultPlane, NoopPlane
+from repro.faults.quarantine import CircuitBreaker, QuarantineEvent
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "AdbSessionDropped",
+    "CampaignKilled",
+    "CheckpointJournal",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlane",
+    "InfrastructureError",
+    "KillSwitch",
+    "NoopPlane",
+    "PlanExecution",
+    "QuarantineEvent",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "enabled",
+    "fingerprint",
+    "get",
+    "install",
+    "session",
+    "uninstall",
+]
+
+_active: Union[FaultPlane, NoopPlane] = NOOP_PLANE
+
+
+def get() -> Union[FaultPlane, NoopPlane]:
+    """The current process-wide fault plane (the no-op plane by default)."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active.armed
+
+
+def fingerprint() -> str:
+    """Identity of the installed plan (``"none"`` when no plan is armed)."""
+    return _active.fingerprint()
+
+
+def install(plan: FaultPlan) -> FaultPlane:
+    """Arm *plan* process-wide and return the live plane."""
+    global _active
+    plane = FaultPlane(plan)
+    _active = plane
+    return plane
+
+
+def uninstall() -> None:
+    """Return to the free no-op plane (schedule state is discarded)."""
+    global _active
+    _active = NOOP_PLANE
+
+
+@contextlib.contextmanager
+def session(plan: Optional[FaultPlan]) -> Iterator[Union[FaultPlane, NoopPlane]]:
+    """Arm *plan* for a ``with`` block (``None`` keeps the no-op plane)."""
+    if plan is None:
+        yield _active
+        return
+    plane = install(plan)
+    try:
+        yield plane
+    finally:
+        uninstall()

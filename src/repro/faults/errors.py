@@ -1,0 +1,43 @@
+"""Infrastructure-fault error types.
+
+These model *environment* failures -- the transport between the operator (or
+QGJ) and the device under test -- as opposed to the app-level outcomes the
+study classifies.  The distinction matters: the paper's Tables II-V count
+component behaviour, and an adb session drop or a binder transport error
+must never be folded into those distributions.  The retry/quarantine
+machinery in :mod:`repro.faults.retry` and :mod:`repro.faults.quarantine`
+keys on :data:`TRANSIENT_ERRORS`.
+"""
+
+from __future__ import annotations
+
+from repro.android.jtypes import DeadObjectException, TransactionTooLargeException
+
+
+class InfrastructureError(Exception):
+    """Base class for environment (non-app) failures."""
+
+
+class AdbSessionDropped(InfrastructureError):
+    """The adb session to the device was lost (cable, Bluetooth, reboot).
+
+    The paper's operators hit exactly this: a device reboot mid-campaign
+    drops the session and "the operator resumes with the next app".  A
+    dropped session is transient -- the next command re-establishes it.
+    """
+
+
+class CampaignKilled(InfrastructureError):
+    """The campaign host died mid-run (simulated crash for resume testing)."""
+
+    def __init__(self, injections: int) -> None:
+        super().__init__(f"campaign host killed after {injections} injections")
+        self.injections = injections
+
+
+#: Exception classes the retry policy treats as transient transport faults.
+TRANSIENT_ERRORS = (
+    AdbSessionDropped,
+    DeadObjectException,
+    TransactionTooLargeException,
+)

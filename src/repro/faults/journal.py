@@ -1,0 +1,132 @@
+"""Crash-safe checkpoint journal: append-only JSONL plus a state snapshot.
+
+HypoFuzz-style harnesses treat a long campaign as a resumable,
+database-backed process rather than a one-shot run; this module is that
+database, scaled to the simulator.  Two files:
+
+* ``<journal>`` -- append-only JSONL.  First record is a header binding the
+  run to its configuration and fault-plan fingerprint; each subsequent
+  record marks one completed ``(package, campaign)`` segment with its
+  serialized results.  Every append is flushed and fsynced, so after a kill
+  the journal holds exactly the completed segments.  A torn final line
+  (the crash landed mid-write) is detected and ignored on load.
+* ``<journal>.state`` -- a pickled snapshot of the full simulator state at
+  the last completed segment boundary, written atomically (temp file,
+  fsync, ``os.replace``).  Resume loads it and continues as if the kill
+  never happened; because the simulation is deterministic on the virtual
+  clock, the resumed run's remaining segments -- and therefore the final
+  summary -- are identical to an uninterrupted run's.
+
+The journal is the source of truth for *what completed*; the snapshot for
+*where to continue from*.  If the snapshot is older than the journal's last
+segment (a kill between the append and the snapshot replace), resume falls
+back to the snapshot's index -- re-running a completed segment from its
+boundary state reproduces its recorded results exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Any, Dict, List, Optional
+
+from repro.faults.errors import CampaignKilled
+
+JOURNAL_VERSION = 1
+
+
+class KillSwitch:
+    """Simulated host crash: raises after a fixed number of injections.
+
+    The CI chaos smoke and the resume tests use this to kill a campaign at
+    an arbitrary injection index without involving process management.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"kill limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.count = 0
+
+    def tick(self) -> None:
+        self.count += 1
+        if self.count >= self.limit:
+            raise CampaignKilled(self.count)
+
+
+class CheckpointJournal:
+    """One campaign's append-only journal and snapshot pair."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    @property
+    def state_path(self) -> str:
+        return self.path + ".state"
+
+    # -- journal writes -----------------------------------------------------------
+    def start(self, header: Dict[str, Any]) -> None:
+        """Begin a fresh journal (truncates any previous one)."""
+        record = {"type": "header", "version": JOURNAL_VERSION, **header}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if os.path.exists(self.state_path):
+            os.remove(self.state_path)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record; durable once this returns."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- journal reads ------------------------------------------------------------
+    @staticmethod
+    def load(path: str) -> List[Dict[str, Any]]:
+        """Parse a journal, tolerating a torn (crash-interrupted) final line."""
+        records: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        # A well-formed journal ends with "\n", so the final split element
+        # is empty; anything else is a torn tail.
+        body, tail = lines[:-1], lines[-1]
+        for lineno, line in enumerate(body, start=1):
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: corrupt journal record: {exc}")
+        if tail:
+            # Torn tail: the record was never durable, drop it silently.
+            pass
+        if not records or records[0].get("type") != "header":
+            raise ValueError(f"{path}: not a checkpoint journal (missing header)")
+        return records
+
+    def header(self) -> Dict[str, Any]:
+        return self.load(self.path)[0]
+
+    def segments(self) -> List[Dict[str, Any]]:
+        return [r for r in self.load(self.path) if r.get("type") == "segment"]
+
+    # -- state snapshot -----------------------------------------------------------
+    def save_state(self, payload: Any) -> None:
+        """Atomically replace the snapshot (temp file + fsync + rename)."""
+        tmp = self.state_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.state_path)
+
+    def load_state(self) -> Optional[Any]:
+        if not os.path.exists(self.state_path):
+            return None
+        with open(self.state_path, "rb") as fh:
+            return pickle.load(fh)

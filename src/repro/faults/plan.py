@@ -1,0 +1,188 @@
+"""Seeded environment-fault plans and their per-device execution state.
+
+A :class:`FaultPlan` is a *description*: which fault kinds fire, how often
+(mean interval in virtual milliseconds, exponentially distributed), and any
+explicitly pinned one-shot events.  It is frozen, hashable, and carries a
+``fingerprint()`` so a checkpoint journal can refuse to resume a run under a
+different plan.
+
+Execution state lives in :class:`PlanExecution`, one per device clock: the
+per-kind RNG streams and "next fire time" cursors.  Everything is scheduled
+on the *virtual* clock, so a faulty run is exactly replayable -- same seed,
+same clock trajectory, same faults -- and execution state is plain picklable
+data, so a checkpoint snapshot freezes the fault schedule mid-stream.
+
+The fault taxonomy follows Cotroneo et al.'s OS/IPC fault dimensions mapped
+onto this simulator:
+
+* ``ADB_DROP`` -- the adb session to the device is lost; the next adb
+  command raises :class:`~repro.faults.errors.AdbSessionDropped`;
+* ``BINDER`` -- a binder transaction fails in transport with
+  ``DeadObjectException`` or ``TransactionTooLargeException``;
+* ``LMKD_KILL`` -- the low-memory killer reaps an app process;
+* ``LOGCAT_TRUNCATE`` -- the log ring loses its oldest half before the
+  operator pulls it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import Dict, List, Optional, Tuple
+
+
+class FaultKind(enum.Enum):
+    """The environment-fault taxonomy."""
+
+    ADB_DROP = "adb_drop"
+    BINDER = "binder"
+    LMKD_KILL = "lmkd_kill"
+    LOGCAT_TRUNCATE = "logcat_truncate"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault occurrence."""
+
+    at_ms: float
+    kind: FaultKind
+    #: Kind-specific detail (binder: the exception class to raise).
+    param: str = ""
+
+
+#: Binder faults alternate between the two transport exception classes.
+BINDER_DEAD_OBJECT = "DeadObjectException"
+BINDER_TOO_LARGE = "TransactionTooLargeException"
+
+#: Default chaos profile intervals (virtual ms).  An 18-virtual-hour quick
+#: study sees on the order of 100 binder faults, 36 adb drops, 54 lmkd
+#: kills, and 18 log truncations -- dense enough to exercise every path,
+#: sparse enough that retry absorbs almost all of them.
+CHAOS_INTERVALS_MS: Dict[FaultKind, float] = {
+    FaultKind.ADB_DROP: 1_800_000.0,
+    FaultKind.BINDER: 600_000.0,
+    FaultKind.LMKD_KILL: 1_200_000.0,
+    FaultKind.LOGCAT_TRUNCATE: 3_600_000.0,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded schedule of environment faults.
+
+    ``*_every_ms`` are mean intervals for the stochastic streams (``None``
+    disables a stream); ``oneshots`` pins explicit events, which fire in
+    addition to the streams.  An all-``None``, no-oneshot plan is *empty*:
+    installing it arms the hooks but injects nothing, and a run under it is
+    bit-identical to a run with no plan at all (the no-op guarantee).
+    """
+
+    seed: int = 0
+    adb_drop_every_ms: Optional[float] = None
+    binder_every_ms: Optional[float] = None
+    lmkd_every_ms: Optional[float] = None
+    logcat_truncate_every_ms: Optional[float] = None
+    oneshots: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "adb_drop_every_ms",
+            "binder_every_ms",
+            "lmkd_every_ms",
+            "logcat_truncate_every_ms",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    def interval_for(self, kind: FaultKind) -> Optional[float]:
+        return {
+            FaultKind.ADB_DROP: self.adb_drop_every_ms,
+            FaultKind.BINDER: self.binder_every_ms,
+            FaultKind.LMKD_KILL: self.lmkd_every_ms,
+            FaultKind.LOGCAT_TRUNCATE: self.logcat_truncate_every_ms,
+        }[kind]
+
+    def is_empty(self) -> bool:
+        return not self.oneshots and all(
+            self.interval_for(kind) is None for kind in FaultKind
+        )
+
+    def fingerprint(self) -> str:
+        """Stable identity string, recorded in checkpoint journal headers."""
+        parts = [f"seed={self.seed}"]
+        for kind in FaultKind:
+            interval = self.interval_for(kind)
+            if interval is not None:
+                parts.append(f"{kind.value}={interval:g}")
+        for event in self.oneshots:
+            parts.append(f"@{event.at_ms:g}:{event.kind.value}:{event.param}")
+        return ";".join(parts)
+
+    @staticmethod
+    def chaos(seed: int = 0) -> "FaultPlan":
+        """The default chaos profile (all four streams at default rates)."""
+        return FaultPlan(
+            seed=seed,
+            adb_drop_every_ms=CHAOS_INTERVALS_MS[FaultKind.ADB_DROP],
+            binder_every_ms=CHAOS_INTERVALS_MS[FaultKind.BINDER],
+            lmkd_every_ms=CHAOS_INTERVALS_MS[FaultKind.LMKD_KILL],
+            logcat_truncate_every_ms=CHAOS_INTERVALS_MS[FaultKind.LOGCAT_TRUNCATE],
+        )
+
+
+class _KindStream:
+    """One fault kind's deterministic event stream (picklable)."""
+
+    def __init__(self, plan: FaultPlan, kind: FaultKind) -> None:
+        self.kind = kind
+        self._rng = random.Random(f"{plan.seed}:{kind.value}")
+        self._interval = plan.interval_for(kind)
+        self._next: Optional[float] = self._draw_gap() if self._interval else None
+        self._oneshots: List[FaultEvent] = sorted(
+            (e for e in plan.oneshots if e.kind == kind), key=lambda e: e.at_ms
+        )
+
+    def _draw_gap(self) -> float:
+        assert self._interval is not None
+        return self._rng.expovariate(1.0 / self._interval)
+
+    def _param(self) -> str:
+        if self.kind is FaultKind.BINDER:
+            return BINDER_DEAD_OBJECT if self._rng.random() < 0.5 else BINDER_TOO_LARGE
+        return ""
+
+    def take_due(self, now_ms: float, limit: Optional[int] = None) -> List[FaultEvent]:
+        """Pop every event with ``at_ms <= now_ms`` (at most *limit*)."""
+        due: List[FaultEvent] = []
+
+        def full() -> bool:
+            return limit is not None and len(due) >= limit
+
+        while self._oneshots and self._oneshots[0].at_ms <= now_ms and not full():
+            due.append(self._oneshots.pop(0))
+        while self._next is not None and self._next <= now_ms and not full():
+            due.append(FaultEvent(at_ms=self._next, kind=self.kind, param=self._param()))
+            self._next += self._draw_gap()
+        return due
+
+
+class PlanExecution:
+    """All mutable schedule state for one device clock (picklable)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.streams: Dict[FaultKind, _KindStream] = {
+            kind: _KindStream(plan, kind) for kind in FaultKind
+        }
+        #: Deterministic victim selection for lmkd kills.
+        self.victim_rng = random.Random(f"{plan.seed}:lmkd-victim")
+        self.fired: int = 0
+
+    def take_due(
+        self, kind: FaultKind, now_ms: float, limit: Optional[int] = None
+    ) -> List[FaultEvent]:
+        due = self.streams[kind].take_due(now_ms, limit=limit)
+        self.fired += len(due)
+        return due

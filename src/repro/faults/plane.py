@@ -1,0 +1,195 @@
+"""The installed fault plane: hook entry points called from the simulator.
+
+Mirrors the telemetry plane's discipline exactly: a process-wide handle
+fetched with :func:`repro.faults.get`, guarded at every instrument site by
+``plane.armed``.  With no plan installed the handle is a shared
+:class:`NoopPlane` whose ``armed`` is ``False``, so the simulator pays one
+attribute check per hook and nothing else -- zero behavior drift from seed.
+
+Hook sites (all in the android layer):
+
+* :meth:`FaultPlane.on_adb` -- ``adb.py``, entry of every adb command;
+* :meth:`FaultPlane.on_transact` -- ``binder.py`` transactions and the
+  activity manager's top-level dispatch boundary;
+* :meth:`FaultPlane.on_process_table` -- ``process.py`` process lookup
+  (where lmkd would run);
+* logcat truncation rides on :meth:`FaultPlane.on_adb` (the loss is
+  observed when the operator pulls the buffer).
+
+Execution state is kept *per device clock* so paired devices (watch and
+phone) each see an independent, deterministic schedule, and a checkpoint
+snapshot can capture/adopt one device's stream mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro import telemetry
+from repro.android.jtypes import DeadObjectException, TransactionTooLargeException
+from repro.faults.errors import AdbSessionDropped
+from repro.faults.plan import (
+    BINDER_TOO_LARGE,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    PlanExecution,
+)
+from repro.telemetry.metrics import FAULTS_INJECTED
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.android.clock import Clock
+    from repro.android.device import Device
+    from repro.android.process import ProcessTable
+
+#: Fraction of the logcat ring discarded by one truncation fault.
+LOGCAT_TRUNCATE_FRACTION = 0.5
+
+
+def _count_fault(event: FaultEvent, clock: Optional["Clock"]) -> None:
+    t = telemetry.get()
+    if not t.enabled:
+        return
+    t.metrics.counter(
+        FAULTS_INJECTED,
+        "Environment faults injected by the chaos plane, by kind.",
+        ("kind",),
+    ).labels(kind=event.kind.value).inc()
+    if clock is not None:
+        with t.tracer.span(
+            "fault", clock=clock, kind=event.kind.value, param=event.param
+        ):
+            pass
+
+
+class FaultPlane:
+    """An armed fault plane executing one :class:`FaultPlan`."""
+
+    armed = True
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._executions: Dict[int, PlanExecution] = {}
+        #: Strong refs so id() keys stay unique for the plane's lifetime.
+        self._clocks: Dict[int, "Clock"] = {}
+
+    # -- execution state ---------------------------------------------------------
+    def execution_for(self, clock: "Clock") -> PlanExecution:
+        execution = self._executions.get(id(clock))
+        if execution is None:
+            execution = PlanExecution(self.plan)
+            self._executions[id(clock)] = execution
+            self._clocks[id(clock)] = clock
+        return execution
+
+    def capture(self, clock: "Clock") -> PlanExecution:
+        """The (picklable) schedule state for *clock*, for checkpointing."""
+        return self.execution_for(clock)
+
+    def adopt(self, clock: "Clock", execution: PlanExecution) -> None:
+        """Install restored schedule state for *clock* (checkpoint resume)."""
+        if execution.plan.fingerprint() != self.plan.fingerprint():
+            raise ValueError(
+                "cannot adopt execution state from a different fault plan: "
+                f"{execution.plan.fingerprint()!r} != {self.plan.fingerprint()!r}"
+            )
+        self._executions[id(clock)] = execution
+        self._clocks[id(clock)] = clock
+
+    def fingerprint(self) -> str:
+        return self.plan.fingerprint()
+
+    # -- hooks -------------------------------------------------------------------
+    def on_adb(self, device: "Device") -> None:
+        """Called at the entry of every adb command.
+
+        Applies due logcat truncations first (the data was lost *before*
+        this pull), then raises if the session dropped.
+        """
+        clock = device.clock
+        execution = self.execution_for(clock)
+        now = clock.now_ms()
+        for event in execution.take_due(FaultKind.LOGCAT_TRUNCATE, now):
+            _count_fault(event, clock)
+            self._truncate_logcat(device)
+        drops = execution.take_due(FaultKind.ADB_DROP, now, limit=1)
+        if drops:
+            _count_fault(drops[0], clock)
+            raise AdbSessionDropped(
+                f"adb: device {device.name!r} not found (session dropped at "
+                f"{drops[0].at_ms:.0f}ms)"
+            )
+
+    @staticmethod
+    def _truncate_logcat(device: "Device") -> None:
+        logcat = device.logcat
+        drop = int(len(logcat) * LOGCAT_TRUNCATE_FRACTION)
+        if drop:
+            logcat.truncate_oldest(drop)
+
+    def on_transact(self, clock: "Clock", descriptor: str) -> None:
+        """Called before a binder transaction; raises on a due fault."""
+        execution = self.execution_for(clock)
+        due = execution.take_due(FaultKind.BINDER, clock.now_ms(), limit=1)
+        if not due:
+            return
+        event = due[0]
+        _count_fault(event, clock)
+        if event.param == BINDER_TOO_LARGE:
+            raise TransactionTooLargeException(
+                f"data parcel size exceeds binder buffer on {descriptor}"
+            )
+        raise DeadObjectException(
+            f"Transaction failed on {descriptor}: remote process is dead"
+        )
+
+    def on_process_table(self, table: "ProcessTable") -> None:
+        """Called on process lookup; reaps lmkd victims for due kills."""
+        clock = table.clock
+        execution = self.execution_for(clock)
+        for event in execution.take_due(FaultKind.LMKD_KILL, clock.now_ms()):
+            victims = sorted(
+                (
+                    p
+                    for p in table.live_processes()
+                    if not p.is_system and not p.is_native
+                ),
+                key=lambda p: p.name,
+            )
+            if not victims:
+                continue
+            _count_fault(event, clock)
+            victim = execution.victim_rng.choice(victims)
+            table.lmkd_kill(victim)
+
+
+class NoopPlane:
+    """Disabled twin: every hook is free and injects nothing."""
+
+    armed = False
+
+    def on_adb(self, device: "Device") -> None:  # pragma: no cover - never called hot
+        pass
+
+    def on_transact(self, clock: "Clock", descriptor: str) -> None:  # pragma: no cover
+        pass
+
+    def on_process_table(self, table: "ProcessTable") -> None:  # pragma: no cover
+        pass
+
+    def fingerprint(self) -> str:
+        return "none"
+
+    def capture(self, clock: "Clock") -> None:
+        return None
+
+    def adopt(self, clock: "Clock", execution: Optional[PlanExecution]) -> None:
+        if execution is not None:
+            raise ValueError(
+                "checkpoint was taken under a fault plan "
+                f"({execution.plan.fingerprint()!r}); install the same plan "
+                "before resuming"
+            )
+
+
+NOOP_PLANE = NoopPlane()

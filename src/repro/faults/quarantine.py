@@ -1,0 +1,86 @@
+"""Per-package circuit breaker: quarantine after repeated transport failures.
+
+When a package's injections keep failing at the *transport* level (adb or
+binder, after retries), the failure says nothing about the app -- it says
+the infrastructure between QGJ and the component is broken.  Continuing
+would burn campaign time and, worse, could smear infrastructure noise into
+the behaviour distributions of Tables II-V.  The breaker trips after
+``threshold`` consecutive transport-level failures and the harness skips the
+package for the rest of the run, reporting it as *quarantined* -- a separate
+bucket from every app-level outcome, exactly like the paper's operators
+setting aside an app whose session would not come back.
+
+One successful dispatch resets a package's streak (the breaker only counts
+*consecutive* failures).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro import telemetry
+from repro.telemetry.metrics import QUARANTINED
+
+#: Consecutive transport-level failures before a package is quarantined.
+DEFAULT_THRESHOLD = 3
+
+
+@dataclasses.dataclass
+class QuarantineEvent:
+    """Record of one package being quarantined."""
+
+    package: str
+    consecutive_failures: int
+    last_error: str
+
+
+class CircuitBreaker:
+    """Counts consecutive transport failures per package; trips at threshold."""
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._consecutive: Dict[str, int] = {}
+        self._quarantined: Dict[str, QuarantineEvent] = {}
+
+    def record_failure(self, package: str, error: str = "") -> bool:
+        """Record one exhausted-retries transport failure.
+
+        Returns ``True`` when this failure newly quarantines the package.
+        """
+        if package in self._quarantined:
+            return False
+        count = self._consecutive.get(package, 0) + 1
+        self._consecutive[package] = count
+        if count < self.threshold:
+            return False
+        event = QuarantineEvent(
+            package=package, consecutive_failures=count, last_error=error
+        )
+        self._quarantined[package] = event
+        t = telemetry.get()
+        if t.enabled:
+            t.metrics.counter(
+                QUARANTINED,
+                "Packages quarantined by the transport circuit breaker.",
+            ).inc()
+        return True
+
+    def record_success(self, package: str) -> None:
+        """A successful dispatch resets the package's failure streak."""
+        if self._consecutive.get(package):
+            self._consecutive[package] = 0
+
+    def is_quarantined(self, package: str) -> bool:
+        return package in self._quarantined
+
+    def quarantined(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._quarantined))
+
+    def events(self) -> List[QuarantineEvent]:
+        return [self._quarantined[p] for p in sorted(self._quarantined)]
+
+    def failure_streak(self, package: str) -> int:
+        return self._consecutive.get(package, 0)

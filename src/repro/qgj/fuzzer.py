@@ -24,10 +24,14 @@ import contextlib
 import dataclasses
 from typing import Iterable, List, Optional, Sequence
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.android.component import ComponentInfo, ComponentKind
 from repro.android.device import Device
 from repro.android.jtypes import ActivityNotFoundException, SecurityException
+from repro.faults.errors import TRANSIENT_ERRORS
+from repro.faults.journal import KillSwitch
+from repro.faults.quarantine import CircuitBreaker
+from repro.faults.retry import RetryPolicy
 from repro.qgj.campaigns import Campaign, FuzzIntent, generate
 from repro.qgj.results import AppRunResult, ComponentRunResult, FuzzSummary
 from repro.telemetry.metrics import INTENTS_INJECTED
@@ -92,11 +96,29 @@ PAPER_CONFIG = FuzzConfig(stride=1)
 
 
 class FuzzerLibrary:
-    """Injects campaign intents into components of one device."""
+    """Injects campaign intents into components of one device.
 
-    def __init__(self, device: Device, sender_package: str = QGJ_WEAR_PACKAGE) -> None:
+    When a fault plan is armed (:mod:`repro.faults`), dispatch is hardened:
+    transient transport errors are retried with seeded backoff, a package
+    whose transport keeps failing is quarantined by the circuit breaker, and
+    an optional :class:`~repro.faults.journal.KillSwitch` simulates the host
+    dying after a fixed number of injections.  With no plan armed none of
+    this machinery is on the dispatch path.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        sender_package: str = QGJ_WEAR_PACKAGE,
+        retry_policy: Optional[RetryPolicy] = None,
+        quarantine: Optional[CircuitBreaker] = None,
+        kill_switch: Optional[KillSwitch] = None,
+    ) -> None:
         self._device = device
         self.sender_package = sender_package
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.quarantine = quarantine if quarantine is not None else CircuitBreaker()
+        self.kill_switch = kill_switch
 
     # -- single component ---------------------------------------------------------
     def fuzz_component(
@@ -153,12 +175,16 @@ class FuzzerLibrary:
                     t.progress.count_injection()
                 else:
                     self._inject(info, fuzz_intent, result)
+                if self.kill_switch is not None:
+                    self.kill_switch.tick()
                 clock.sleep(config.intent_delay_ms)
                 if result.sent % config.batch_size == 0:
                     clock.sleep(config.batch_delay_ms)
                 if self._device.boot_count != boots_before:
                     result.rebooted = True
                     result.aborted = True
+                    break
+                if result.quarantined:
                     break
         return result
 
@@ -169,31 +195,68 @@ class FuzzerLibrary:
         intent = fuzz_intent.build(info.name)
         am = self._device.activity_manager
         result.sent += 1
-        try:
+
+        def send():
             if info.kind == ComponentKind.ACTIVITY:
-                dispatch = am.start_activity(self.sender_package, intent)
+                return am.start_activity(self.sender_package, intent)
+            name, dispatch = am.start_service_with_result(self.sender_package, intent)
+            return None if name is None else dispatch
+
+        plane = faults.get()
+        outcome = None
+        dispatch = None
+        try:
+            if plane.armed:
+
+                def count_retry(attempt: int, delay: float, exc: BaseException) -> None:
+                    result.retries += 1
+
+                try:
+                    dispatch = self.retry_policy.run(
+                        send,
+                        self._device.clock,
+                        key=(result.component, result.campaign.value, result.sent),
+                        on_retry=count_retry,
+                    )
+                except TRANSIENT_ERRORS as exc:
+                    # Retries exhausted: an infrastructure loss, not an app
+                    # behaviour -- kept out of the classification buckets.
+                    result.transport_failures += 1
+                    self.quarantine.record_failure(info.package, type(exc).__name__)
+                    if self.quarantine.is_quarantined(info.package):
+                        result.quarantined = True
+                        result.aborted = True
+                    return "transport_failure"
             else:
-                name, dispatch = am.start_service_with_result(self.sender_package, intent)
-                if name is None:
-                    result.not_found += 1
-                    return "not_found"
+                dispatch = send()
         except SecurityException:
             result.security_exceptions += 1
-            return "security_exception"
+            outcome = "security_exception"
         except ActivityNotFoundException:
             result.not_found += 1
-            return "not_found"
-        if dispatch.delivered:
-            result.delivered += 1
-        if dispatch.crashed:
-            result.crashes_seen += 1
-        if dispatch.anr:
-            result.anrs_seen += 1
-        if dispatch.crashed:
-            return "crash"
-        if dispatch.anr:
-            return "anr"
-        return "delivered" if dispatch.delivered else "dropped"
+            outcome = "not_found"
+        if outcome is None:
+            if dispatch is None:
+                result.not_found += 1
+                outcome = "not_found"
+            else:
+                if dispatch.delivered:
+                    result.delivered += 1
+                if dispatch.crashed:
+                    result.crashes_seen += 1
+                if dispatch.anr:
+                    result.anrs_seen += 1
+                if dispatch.crashed:
+                    outcome = "crash"
+                elif dispatch.anr:
+                    outcome = "anr"
+                else:
+                    outcome = "delivered" if dispatch.delivered else "dropped"
+        if plane.armed:
+            # The transaction completed (whatever the app did with it), so
+            # the package's consecutive-transport-failure streak resets.
+            self.quarantine.record_success(info.package)
+        return outcome
 
     # -- whole app ------------------------------------------------------------------
     def fuzz_app(
@@ -210,6 +273,10 @@ class FuzzerLibrary:
         package = self._device.packages.get_package(package_name)
         if package is None:
             raise ValueError(f"package not installed: {package_name}")
+        if self.quarantine.is_quarantined(package_name):
+            # The breaker already tripped for this package; don't burn
+            # campaign time on a broken transport.
+            return AppRunResult(package=package_name, campaign=campaign, quarantined=True)
         app_result = AppRunResult(package=package_name, campaign=campaign)
         wanted = set(kinds)
         t = telemetry.get()
@@ -234,6 +301,9 @@ class FuzzerLibrary:
                 app_result.components.append(component_result)
                 if component_result.rebooted:
                     app_result.aborted_by_reboot = True
+                    break
+                if component_result.quarantined:
+                    app_result.quarantined = True
                     break
         return app_result
 

@@ -33,6 +33,14 @@ class ComponentRunResult:
     anrs_seen: int = 0
     rebooted: bool = False
     aborted: bool = False
+    #: Injections lost to the environment (adb drop / binder transport)
+    #: after retries were exhausted -- infrastructure noise, never folded
+    #: into the behavioural classification.
+    transport_failures: int = 0
+    #: Transient transport errors recovered by the retry layer.
+    retries: int = 0
+    #: True when the circuit breaker quarantined the package mid-component.
+    quarantined: bool = False
 
     def merge_counts(self) -> Dict[str, int]:
         return {
@@ -53,6 +61,9 @@ class AppRunResult:
     campaign: Campaign
     components: List[ComponentRunResult] = dataclasses.field(default_factory=list)
     aborted_by_reboot: bool = False
+    #: True when the package was (or already stood) quarantined by the
+    #: transport circuit breaker; remaining components were skipped.
+    quarantined: bool = False
 
     @property
     def sent(self) -> int:
@@ -65,6 +76,14 @@ class AppRunResult:
     @property
     def rebooted(self) -> bool:
         return any(c.rebooted for c in self.components)
+
+    @property
+    def transport_failures(self) -> int:
+        return sum(c.transport_failures for c in self.components)
+
+    @property
+    def retries(self) -> int:
+        return sum(c.retries for c in self.components)
 
 
 @dataclasses.dataclass
@@ -90,6 +109,18 @@ class FuzzSummary:
     def total_reboots(self) -> int:
         return sum(1 for app in self.apps if app.aborted_by_reboot)
 
+    @property
+    def total_transport_failures(self) -> int:
+        return sum(app.transport_failures for app in self.apps)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(app.retries for app in self.apps)
+
+    @property
+    def quarantined_packages(self) -> List[str]:
+        return sorted({app.package for app in self.apps if app.quarantined})
+
     def to_wire(self) -> Dict[str, object]:
         """Flatten for DataAPI transport (plain JSON-able types only)."""
         return {
@@ -98,6 +129,9 @@ class FuzzSummary:
             "total_security_exceptions": self.total_security_exceptions,
             "total_crashes_seen": self.total_crashes_seen,
             "total_reboots": self.total_reboots,
+            "total_transport_failures": self.total_transport_failures,
+            "total_retries": self.total_retries,
+            "quarantined_packages": self.quarantined_packages,
             "apps": [
                 {
                     "package": app.package,
@@ -105,6 +139,7 @@ class FuzzSummary:
                     "sent": app.sent,
                     "crashes_seen": app.crashes_seen,
                     "aborted_by_reboot": app.aborted_by_reboot,
+                    "quarantined": app.quarantined,
                 }
                 for app in self.apps
             ],
@@ -120,4 +155,12 @@ class FuzzSummary:
             f"  device reboots:      {self.total_reboots}",
             f"  apps fuzzed:         {len({a.package for a in self.apps})}",
         ]
+        # Chaos-plane accounting shown only when the environment actually bit.
+        if self.total_retries or self.total_transport_failures:
+            lines.append(f"  transport retries:   {self.total_retries}")
+            lines.append(f"  transport failures:  {self.total_transport_failures}")
+        if self.quarantined_packages:
+            lines.append(
+                f"  quarantined apps:    {', '.join(self.quarantined_packages)}"
+            )
         return "\n".join(lines)

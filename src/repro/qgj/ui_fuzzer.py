@@ -29,8 +29,9 @@ import string
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.android.device import Device
+from repro.faults.retry import RetryPolicy
 from repro.qgj.monkey import Monkey, MonkeyEvent, parse_monkey_log
 from repro.telemetry.metrics import UI_CRASHES, UI_EVENTS, UI_EXCEPTIONS
 
@@ -180,10 +181,21 @@ class QGJUi:
                 stack.enter_context(
                     t.tracer.span("ui_replay", clock=self._device.clock, mode=mode)
                 )
+            plane = faults.get()
+            retry = RetryPolicy()
             for event in events:
                 mutant = mutator.mutate(event, mode)
                 shell_line = event_to_shell(mutant)
-                shell_result = adb.shell(shell_line)
+                if plane.armed:
+                    # A dropped adb session loses this event's shell; the
+                    # harness reconnects with backoff and re-issues it.
+                    shell_result = retry.run(
+                        lambda line=shell_line: adb.shell(line),
+                        self._device.clock,
+                        key=("ui", mode, result.injected_events),
+                    )
+                else:
+                    shell_result = adb.shell(shell_line)
                 result.injected_events += 1
                 if shell_result.reached_app:
                     result.reached_app += 1

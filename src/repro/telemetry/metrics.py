@@ -34,6 +34,11 @@ MONKEY_EVENTS = "monkey_events_generated_total"
 UI_EVENTS = "ui_events_injected_total"
 UI_CRASHES = "ui_crashes_total"
 UI_EXCEPTIONS = "ui_exceptions_total"
+FAULTS_INJECTED = "env_faults_injected_total"
+RETRIES = "qgj_transport_retries_total"
+RETRY_BACKOFF = "qgj_retry_backoff_ms"
+TRANSPORT_FAILURES = "qgj_transport_failures_total"
+QUARANTINED = "qgj_quarantined_packages_total"
 
 #: Default histogram buckets, in virtual milliseconds, spanning the
 #: simulator's time constants (pacing .. ANR window .. stall cap .. boot).

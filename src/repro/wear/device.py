@@ -27,6 +27,28 @@ from repro.wear.node import BluetoothLink, DataClient, MessageClient, WearableNo
 from repro.wear.ui_widgets import NotificationStream
 
 
+# Module-level service providers keep devices picklable (the chaos plane's
+# checkpoint journal snapshots whole devices between campaign segments).
+def _message_client_provider(device, package):
+    return MessageClient(device.node)
+
+
+def _data_client_provider(device, package):
+    return DataClient(device.node)
+
+
+def _ambient_provider(device, package):
+    return device.ambient
+
+
+def _fit_client_provider(device, package):
+    return GoogleFitClient(device.fit_service, package)
+
+
+def _complications_provider(device, package):
+    return device.complications
+
+
 class PhoneDevice(Device):
     """An Android handset (Nexus 4 / Nexus 6 class)."""
 
@@ -42,12 +64,8 @@ class PhoneDevice(Device):
         self.screen_width = 1440
         self.screen_height = 2560
         self.node = WearableNode(f"node-{name}", self.clock)
-        self.register_system_service(
-            "wearable_message", lambda device, package: MessageClient(device.node)
-        )
-        self.register_system_service(
-            "wearable_data", lambda device, package: DataClient(device.node)
-        )
+        self.register_system_service("wearable_message", _message_client_provider)
+        self.register_system_service("wearable_data", _data_client_provider)
 
 
 class WearDevice(Device):
@@ -72,19 +90,11 @@ class WearDevice(Device):
         self.fit_service = GoogleFitService(self.clock, self.sensor_service)
         self.complications = ComplicationManager()
         self.notifications = NotificationStream()
-        self.register_system_service("ambient", lambda device, package: device.ambient)
-        self.register_system_service(
-            "fit", lambda device, package: GoogleFitClient(device.fit_service, package)
-        )
-        self.register_system_service(
-            "complications", lambda device, package: device.complications
-        )
-        self.register_system_service(
-            "wearable_message", lambda device, package: MessageClient(device.node)
-        )
-        self.register_system_service(
-            "wearable_data", lambda device, package: DataClient(device.node)
-        )
+        self.register_system_service("ambient", _ambient_provider)
+        self.register_system_service("fit", _fit_client_provider)
+        self.register_system_service("complications", _complications_provider)
+        self.register_system_service("wearable_message", _message_client_provider)
+        self.register_system_service("wearable_data", _data_client_provider)
 
     def _after_reboot(self) -> None:
         self.ambient.reset()

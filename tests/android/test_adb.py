@@ -191,6 +191,21 @@ class TestShellDispatch:
     def test_syntax_error(self, device):
         assert device.adb.shell("am start 'unclosed").exit_code == 2
 
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            'am start -a S0me.r@ndom."trinG',  # the paper's garbage action, quoted
+            "input text it's-broken",
+            'pm grant com.example.app "android.permission',
+        ],
+    )
+    def test_unbalanced_quotes_regression(self, device, payload):
+        # Campaign payloads routinely contain unbalanced quotes; shlex used
+        # to raise ValueError out of the tool instead of failing the command.
+        result = device.adb.shell(payload)
+        assert result.exit_code == 2
+        assert "syntax error" in result.output
+
     def test_logcat_roundtrip(self, device):
         device.adb.shell("am start -n com.example.app/.MainActivity")
         assert "START u0" in device.adb.logcat()

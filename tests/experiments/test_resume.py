@@ -1,0 +1,190 @@
+"""Resilience tests: checkpoint/resume identity, reboot invariants, caching.
+
+All runs here use a single small app (``com.pulsetrack.wear``) whose
+campaign A deterministically triggers one device reboot -- the cheapest
+scope that still exercises the full reboot/recovery path.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import faults
+from repro.experiments import runner
+from repro.experiments.config import PAPER, QUICK
+from repro.experiments.wear_experiment import run_wear_study
+from repro.faults.errors import CampaignKilled
+from repro.faults.plan import FaultPlan
+from repro.qgj.campaigns import Campaign
+
+PKG = "com.pulsetrack.wear"
+
+#: Aggressive intervals (seconds, not the chaos defaults' tens of minutes)
+#: so even the tiny test scope (one ~108-virtual-second segment) sees every
+#: fault kind.  Drops stay sparse enough for the log-pull retry to absorb.
+PLAN = FaultPlan(
+    seed=13,
+    adb_drop_every_ms=45_000.0,
+    binder_every_ms=8_000.0,
+    lmkd_every_ms=30_000.0,
+    logcat_truncate_every_ms=60_000.0,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plane():
+    yield
+    faults.uninstall()
+
+
+def _wire(result):
+    return result.summary.to_wire()
+
+
+class TestKillAndResume:
+    def test_resume_reproduces_the_uninterrupted_summary(self, tmp_path):
+        campaigns = (Campaign.A, Campaign.B)
+        with faults.session(PLAN):
+            base = run_wear_study(QUICK, packages=[PKG], campaigns=campaigns)
+        journal = str(tmp_path / "run.jsonl")
+        with faults.session(PLAN):
+            # Campaign A sends ~670 intents, so 800 lands inside campaign B:
+            # the kill hits after a snapshot exists, exercising the restore.
+            with pytest.raises(CampaignKilled) as exc_info:
+                run_wear_study(
+                    QUICK,
+                    packages=[PKG],
+                    campaigns=campaigns,
+                    journal_path=journal,
+                    kill_after_injections=800,
+                )
+            assert exc_info.value.injections == 800
+        with faults.session(PLAN):
+            resumed = run_wear_study(QUICK, journal_path=journal, resume=True)
+        assert _wire(resumed) == _wire(base)
+        assert resumed.collector.reboots == base.collector.reboots
+        assert resumed.watch.clock.now_ms() == base.watch.clock.now_ms()
+
+    def test_kill_before_first_checkpoint_restarts_from_scratch(self, tmp_path):
+        with faults.session(PLAN):
+            base = run_wear_study(QUICK, packages=[PKG], campaigns=(Campaign.A,))
+        journal = str(tmp_path / "run.jsonl")
+        with faults.session(PLAN):
+            with pytest.raises(CampaignKilled):
+                run_wear_study(
+                    QUICK,
+                    packages=[PKG],
+                    campaigns=(Campaign.A,),
+                    journal_path=journal,
+                    kill_after_injections=50,
+                )
+        with faults.session(PLAN):
+            resumed = run_wear_study(QUICK, journal_path=journal, resume=True)
+        assert _wire(resumed) == _wire(base)
+
+    def test_resume_requires_a_journal_path(self):
+        with pytest.raises(ValueError, match="journal_path"):
+            run_wear_study(QUICK, resume=True)
+
+    def test_resume_rejects_a_different_config(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        with pytest.raises(CampaignKilled):
+            run_wear_study(
+                QUICK,
+                packages=[PKG],
+                campaigns=(Campaign.A,),
+                journal_path=journal,
+                kill_after_injections=50,
+            )
+        with pytest.raises(ValueError, match="config"):
+            run_wear_study(PAPER, journal_path=journal, resume=True)
+
+    def test_resume_rejects_a_different_fault_plan(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        with faults.session(PLAN):
+            with pytest.raises(CampaignKilled):
+                run_wear_study(
+                    QUICK,
+                    packages=[PKG],
+                    campaigns=(Campaign.A,),
+                    journal_path=journal,
+                    kill_after_injections=50,
+                )
+        # No plan installed now: the fingerprints cannot match.
+        with pytest.raises(ValueError, match="fault plan"):
+            run_wear_study(QUICK, journal_path=journal, resume=True)
+
+
+class TestRebootInvariant:
+    """The paper's recovery rule: a reboot aborts the rest of the app's run
+    and each triggering segment reboots exactly once."""
+
+    def _check(self, result):
+        (app,) = result.summary.apps
+        assert app.aborted_by_reboot
+        assert [c.rebooted for c in app.components].count(True) == 1
+        assert app.components[-1].rebooted  # nothing fuzzed past the reboot
+        assert result.reboot_count == 1
+
+    def test_reboot_aborts_rest_of_app_without_faults(self):
+        result = run_wear_study(QUICK, packages=[PKG], campaigns=(Campaign.A,))
+        self._check(result)
+
+    def test_reboot_invariant_holds_under_chaos(self):
+        with faults.session(PLAN):
+            result = run_wear_study(QUICK, packages=[PKG], campaigns=(Campaign.A,))
+        self._check(result)
+
+
+class TestEmptyPlanIsNoPlan:
+    """Arming an empty plan must not perturb the simulation at all."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=5, deadline=None)
+    def test_empty_plan_matches_no_plan(self, seed, baseline):
+        with faults.session(FaultPlan(seed=seed)):
+            armed = run_wear_study(QUICK, packages=[PKG], campaigns=(Campaign.A,))
+        assert _wire(armed) == _wire(baseline)
+        assert armed.watch.clock.now_ms() == baseline.watch.clock.now_ms()
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_wear_study(QUICK, packages=[PKG], campaigns=(Campaign.A,))
+
+
+class TestRunnerCacheKeying:
+    def test_cache_keys_on_fault_fingerprint(self, monkeypatch):
+        calls = []
+
+        def fake_run(config, **kwargs):
+            calls.append((config.name, faults.fingerprint(), kwargs))
+            return object()
+
+        monkeypatch.setattr(runner, "run_wear_study", fake_run)
+        runner.wear_study.cache_clear()
+        plain = runner.wear_study("quick")
+        assert runner.wear_study("quick") is plain
+        faults.install(FaultPlan.chaos(seed=7))
+        faulted = runner.wear_study("quick")
+        assert faulted is not plain
+        assert runner.wear_study("quick") is faulted
+        faults.uninstall()
+        # Back to the unfaulted key: served from cache, no third run.
+        assert runner.wear_study("quick") is plain
+        assert len(calls) == 2
+        runner.wear_study.cache_clear()
+
+    def test_stateful_kwargs_bypass_the_cache(self, monkeypatch, tmp_path):
+        calls = []
+
+        def fake_run(config, **kwargs):
+            calls.append(kwargs)
+            return object()
+
+        monkeypatch.setattr(runner, "run_wear_study", fake_run)
+        runner.wear_study.cache_clear()
+        journal = str(tmp_path / "run.jsonl")
+        first = runner.wear_study("quick", journal_path=journal)
+        second = runner.wear_study("quick", journal_path=journal)
+        assert first is not second
+        assert calls == [{"journal_path": journal}, {"journal_path": journal}]
+        runner.wear_study.cache_clear()

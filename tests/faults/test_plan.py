@@ -1,0 +1,111 @@
+"""Tests for fault plans and their deterministic execution streams."""
+
+import pickle
+
+import pytest
+
+from repro.faults.plan import (
+    BINDER_DEAD_OBJECT,
+    BINDER_TOO_LARGE,
+    CHAOS_INTERVALS_MS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    PlanExecution,
+)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+
+    def test_chaos_plan_enables_every_stream(self):
+        plan = FaultPlan.chaos(seed=3)
+        assert not plan.is_empty()
+        for kind in FaultKind:
+            assert plan.interval_for(kind) == CHAOS_INTERVALS_MS[kind]
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(binder_every_ms=0)
+        with pytest.raises(ValueError):
+            FaultPlan(adb_drop_every_ms=-5.0)
+
+    def test_fingerprint_distinguishes_seed_and_streams(self):
+        fingerprints = {
+            FaultPlan.chaos(seed=1).fingerprint(),
+            FaultPlan.chaos(seed=2).fingerprint(),
+            FaultPlan(seed=1).fingerprint(),
+            FaultPlan(seed=1, binder_every_ms=100.0).fingerprint(),
+            FaultPlan(
+                seed=1, oneshots=(FaultEvent(50.0, FaultKind.ADB_DROP),)
+            ).fingerprint(),
+        }
+        assert len(fingerprints) == 5
+
+    def test_fingerprint_is_stable(self):
+        assert FaultPlan.chaos(seed=7).fingerprint() == FaultPlan.chaos(seed=7).fingerprint()
+
+
+class TestPlanExecution:
+    def test_identical_seeds_produce_identical_streams(self):
+        plan = FaultPlan.chaos(seed=11)
+        a, b = PlanExecution(plan), PlanExecution(plan)
+        for now in (10_000.0, 500_000.0, 2_000_000.0, 9_000_000.0):
+            for kind in FaultKind:
+                assert a.take_due(kind, now) == b.take_due(kind, now)
+        assert a.fired == b.fired > 0
+
+    def test_events_independent_of_polling_pattern(self):
+        plan = FaultPlan(seed=5, binder_every_ms=1_000.0)
+        coarse, fine = PlanExecution(plan), PlanExecution(plan)
+        horizon = 50_000.0
+        coarse_events = coarse.take_due(FaultKind.BINDER, horizon)
+        fine_events = []
+        now = 0.0
+        while now < horizon:
+            now += 137.0
+            fine_events.extend(fine.take_due(FaultKind.BINDER, min(now, horizon)))
+        assert coarse_events == fine_events
+
+    def test_limit_defers_rather_than_drops(self):
+        plan = FaultPlan(seed=5, adb_drop_every_ms=100.0)
+        limited, unlimited = PlanExecution(plan), PlanExecution(plan)
+        drained = []
+        while True:
+            batch = limited.take_due(FaultKind.ADB_DROP, 5_000.0, limit=1)
+            if not batch:
+                break
+            drained.extend(batch)
+        assert drained == unlimited.take_due(FaultKind.ADB_DROP, 5_000.0)
+
+    def test_oneshots_fire_once_at_their_time(self):
+        plan = FaultPlan(
+            seed=0,
+            oneshots=(
+                FaultEvent(100.0, FaultKind.LMKD_KILL),
+                FaultEvent(200.0, FaultKind.LMKD_KILL),
+            ),
+        )
+        execution = PlanExecution(plan)
+        assert execution.take_due(FaultKind.LMKD_KILL, 50.0) == []
+        assert [e.at_ms for e in execution.take_due(FaultKind.LMKD_KILL, 150.0)] == [100.0]
+        assert [e.at_ms for e in execution.take_due(FaultKind.LMKD_KILL, 1e9)] == [200.0]
+        assert execution.take_due(FaultKind.LMKD_KILL, 1e9) == []
+
+    def test_binder_params_name_both_transport_exceptions(self):
+        plan = FaultPlan(seed=1, binder_every_ms=100.0)
+        events = PlanExecution(plan).take_due(FaultKind.BINDER, 100_000.0)
+        params = {event.param for event in events}
+        assert params == {BINDER_DEAD_OBJECT, BINDER_TOO_LARGE}
+
+    def test_pickle_roundtrip_continues_identically(self):
+        plan = FaultPlan.chaos(seed=9)
+        execution = PlanExecution(plan)
+        for kind in FaultKind:
+            execution.take_due(kind, 3_000_000.0)
+        clone = pickle.loads(pickle.dumps(execution))
+        for now in (5_000_000.0, 20_000_000.0):
+            for kind in FaultKind:
+                assert execution.take_due(kind, now) == clone.take_due(kind, now)
+        assert execution.victim_rng.random() == clone.victim_rng.random()

@@ -1,0 +1,53 @@
+"""Tests for the per-package transport circuit breaker."""
+
+import pytest
+
+from repro.faults.quarantine import DEFAULT_THRESHOLD, CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_failure("com.a", "AdbSessionDropped")
+        assert not breaker.record_failure("com.a", "AdbSessionDropped")
+        assert breaker.record_failure("com.a", "DeadObjectException")
+        assert breaker.is_quarantined("com.a")
+        assert breaker.quarantined() == ("com.a",)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("com.a")
+        breaker.record_success("com.a")
+        assert not breaker.record_failure("com.a")
+        assert breaker.failure_streak("com.a") == 1
+        assert not breaker.is_quarantined("com.a")
+
+    def test_packages_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("com.a")
+        assert breaker.is_quarantined("com.a")
+        assert not breaker.is_quarantined("com.b")
+        assert breaker.failure_streak("com.b") == 0
+
+    def test_failures_after_quarantine_are_inert(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.record_failure("com.a")
+        assert not breaker.record_failure("com.a")
+        assert len(breaker.events()) == 1
+
+    def test_event_records_count_and_error(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("com.a", "AdbSessionDropped")
+        breaker.record_failure("com.a", "TransactionTooLargeException")
+        (event,) = breaker.events()
+        assert event.package == "com.a"
+        assert event.consecutive_failures == 2
+        assert event.last_error == "TransactionTooLargeException"
+
+    def test_default_threshold(self):
+        breaker = CircuitBreaker()
+        assert breaker.threshold == DEFAULT_THRESHOLD
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

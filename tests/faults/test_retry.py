@@ -1,0 +1,131 @@
+"""Tests for the retry policy, including the backoff-schedule properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.clock import Clock
+from repro.android.jtypes import DeadObjectException, NullPointerException
+from repro.faults.errors import AdbSessionDropped
+from repro.faults.retry import MAX_ATTEMPTS_CAP, RetryPolicy
+
+_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=MAX_ATTEMPTS_CAP),
+    base_delay_ms=st.floats(min_value=1.0, max_value=500.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay_ms=st.floats(min_value=500.0, max_value=10_000.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+_keys = st.tuples(st.text(max_size=12), st.integers(min_value=0, max_value=10**6))
+
+
+class TestScheduleProperties:
+    @given(policy=_policies, key=_keys)
+    @settings(max_examples=120, deadline=None)
+    def test_schedule_monotone_and_bounded(self, policy, key):
+        schedule = policy.schedule(key)
+        assert len(schedule) == policy.max_attempts - 1
+        ceiling = policy.max_delay_ms * (1.0 + policy.jitter)
+        previous = 0.0
+        for delay in schedule:
+            assert delay >= previous
+            assert delay <= ceiling
+            previous = delay
+
+    @given(policy=_policies, key=_keys)
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_is_pure_function_of_policy_and_key(self, policy, key):
+        twin = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay_ms=policy.base_delay_ms,
+            multiplier=policy.multiplier,
+            max_delay_ms=policy.max_delay_ms,
+            jitter=policy.jitter,
+            seed=policy.seed,
+        )
+        assert policy.schedule(key) == twin.schedule(key)
+
+    def test_different_keys_decorrelate_jitter(self):
+        policy = RetryPolicy(jitter=1.0)
+        assert policy.schedule(("a",)) != policy.schedule(("b",))
+
+
+class TestValidation:
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=MAX_ATTEMPTS_CAP + 1)
+
+    def test_rejects_bad_delays(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ms=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ms=100.0, max_delay_ms=50.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestRun:
+    def test_transient_errors_retried_until_success(self):
+        clock = Clock()
+        attempts = []
+
+        def flaky():
+            attempts.append(clock.now_ms())
+            if len(attempts) < 3:
+                raise AdbSessionDropped("gone")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, seed=1)
+        assert policy.run(flaky, clock) == "ok"
+        assert len(attempts) == 3
+        # Each retry slept its backoff delay on the virtual clock.
+        assert clock.now_ms() == pytest.approx(sum(policy.schedule()[:2]))
+
+    def test_exhaustion_reraises_last_transient_error(self):
+        clock = Clock()
+
+        def always_down():
+            raise DeadObjectException("still dead")
+
+        with pytest.raises(DeadObjectException):
+            RetryPolicy(max_attempts=3).run(always_down, clock)
+
+    def test_non_transient_errors_propagate_immediately(self):
+        clock = Clock()
+        calls = []
+
+        def appish():
+            calls.append(1)
+            raise NullPointerException("app bug")
+
+        with pytest.raises(NullPointerException):
+            RetryPolicy(max_attempts=5).run(appish, clock)
+        assert len(calls) == 1
+        assert clock.now_ms() == 0.0
+
+    def test_on_retry_observes_each_backoff(self):
+        clock = Clock()
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise AdbSessionDropped("gone")
+            return 42
+
+        policy = RetryPolicy(max_attempts=4, seed=2)
+        policy.run(flaky, clock, key=("x",), on_retry=lambda a, d, e: seen.append((a, d)))
+        assert [a for a, _ in seen] == [0, 1]
+        assert [d for _, d in seen] == list(policy.schedule(("x",))[:2])
+
+    def test_single_attempt_policy_never_sleeps(self):
+        clock = Clock()
+        with pytest.raises(AdbSessionDropped):
+            RetryPolicy(max_attempts=1).run(
+                lambda: (_ for _ in ()).throw(AdbSessionDropped("x")), clock
+            )
+        assert clock.now_ms() == 0.0
