@@ -147,6 +147,48 @@ class StudyCollector:
         self.reboots: List[RebootPostMortem] = []
         self.segments_folded = 0
 
+    @classmethod
+    def merge(cls, collectors: Sequence["StudyCollector"]) -> "StudyCollector":
+        """Combine per-shard collectors into one study-wide collector.
+
+        Every shard registers the *full* corpus universe (so untouched
+        components stay classified No Effect exactly once); the merge
+        therefore requires identical component universes, sums the
+        per-component evidence counters, ORs reboot involvement, and
+        concatenates reboot post-mortems in shard order.  Two shards
+        classifying the same ``(package, campaign)`` segment is a
+        partitioning bug and is rejected, as is an empty merge.
+        """
+        collectors = list(collectors)
+        if not collectors:
+            raise ValueError("nothing to merge: no collectors")
+        first = collectors[0]
+        merged = cls(list(first._package_meta.values()))
+        for collector in collectors:
+            if set(collector._components) != set(merged._components):
+                raise ValueError(
+                    "cannot merge collectors with different component universes"
+                )
+            for flat, record in collector._components.items():
+                target = merged._components[flat]
+                target.fatal_root_classes.update(record.fatal_root_classes)
+                target.fatal_outer_classes.update(record.fatal_outer_classes)
+                target.handled_classes.update(record.handled_classes)
+                target.anr_count += record.anr_count
+                target.anr_cause_classes.update(record.anr_cause_classes)
+                target.security_denials += record.security_denials
+                target.reboot_involved = target.reboot_involved or record.reboot_involved
+            for key, severity in collector.app_campaign.items():
+                if key in merged.app_campaign:
+                    raise ValueError(
+                        f"overlapping shard results: segment {key} classified "
+                        "by more than one shard"
+                    )
+                merged.app_campaign[key] = severity
+            merged.reboots.extend(collector.reboots)
+            merged.segments_folded += collector.segments_folded
+        return merged
+
     # -- metadata ------------------------------------------------------------------
     def package_meta(self, package: str) -> Optional[PackageInfo]:
         return self._package_meta.get(package)

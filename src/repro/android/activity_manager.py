@@ -27,7 +27,6 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tuple
 
-from repro import faults, telemetry
 from repro.android.component import (
     Activity,
     ActivityState,
@@ -129,7 +128,7 @@ class ActivityManager:
 
     def _count_dispatch(self, entry: str) -> None:
         self.dispatch_count += 1
-        t = telemetry.get()
+        t = self._device.runtime.telemetry
         if t.enabled:
             t.metrics.counter(
                 AM_DISPATCHES,
@@ -146,7 +145,7 @@ class ActivityManager:
         """
         if self._dispatch_depth > 0:
             return
-        plane = faults.get()
+        plane = self._device.runtime.faults
         if plane.armed:
             plane.on_transact(self._device.clock, "android.app.IActivityManager")
 
@@ -472,7 +471,7 @@ class ActivityManager:
             )
             self._logcat.anr(proc.name, proc.pid, info.name.flatten_to_short_string(), reason)
             proc.record_anr(task.description, cost)
-            t = telemetry.get()
+            t = self._device.runtime.telemetry
             if t.enabled:
                 t.metrics.histogram(
                     ANR_LATENCY,

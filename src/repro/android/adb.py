@@ -26,7 +26,6 @@ import dataclasses
 import shlex
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from repro import faults
 from repro.android.intent import (
     CATEGORY_LAUNCHER,
     ComponentName,
@@ -81,7 +80,7 @@ class Adb:
         layer) reconnects and retries, exactly like the paper's operators
         nursing a flaky ``adb`` link.
         """
-        plane = faults.get()
+        plane = self._device.runtime.faults
         if plane.armed:
             plane.on_adb(self._device)
 
@@ -233,7 +232,6 @@ class Adb:
         it" discipline: campaign telemetry is read back through the same
         shell surface the study reads logcat through.
         """
-        from repro import telemetry
         from repro.telemetry import exporters
 
         if not args or args[0] == "-l":
@@ -243,7 +241,7 @@ class Adb:
         service, rest = args[0], args[1:]
         if service != "telemetry":
             return ShellResult(exit_code=1, output=f"Can't find service: {service}")
-        t = telemetry.get()
+        t = self._device.runtime.telemetry
         if not t.enabled:
             return ShellResult(
                 exit_code=0,

@@ -13,20 +13,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro import faults, telemetry
 from repro.android.jtypes import DeadObjectException, IllegalArgumentException, Throwable
 from repro.android.process import ProcessRecord
 from repro.telemetry.metrics import BINDER_TRANSACTIONS
-
-
-def _count_transaction(descriptor: str, outcome: str) -> None:
-    t = telemetry.get()
-    if t.enabled:
-        t.metrics.counter(
-            BINDER_TRANSACTIONS,
-            "Binder transactions, by interface descriptor and outcome.",
-            ("descriptor", "outcome"),
-        ).labels(descriptor=descriptor, outcome=outcome).inc()
 
 
 class IBinder:
@@ -36,6 +25,15 @@ class IBinder:
         self.descriptor = descriptor
         self._owner = owner_process
         self._handlers: Dict[str, Callable[..., Any]] = {}
+
+    def _count_transaction(self, outcome: str) -> None:
+        t = self._owner.runtime.telemetry
+        if t.enabled:
+            t.metrics.counter(
+                BINDER_TRANSACTIONS,
+                "Binder transactions, by interface descriptor and outcome.",
+                ("descriptor", "outcome"),
+            ).labels(descriptor=self.descriptor, outcome=outcome).inc()
 
     @property
     def owner(self) -> ProcessRecord:
@@ -50,7 +48,7 @@ class IBinder:
 
     def transact(self, code: str, *args: Any, **kwargs: Any) -> Any:
         """Perform a transaction; raises on dead owner or unknown code."""
-        plane = faults.get()
+        plane = self._owner.runtime.faults
         if plane.armed:
             # A due transport fault fails the transaction before it reaches
             # the remote -- DeadObjectException / TransactionTooLargeException
@@ -58,20 +56,20 @@ class IBinder:
             try:
                 plane.on_transact(self._owner.clock, self.descriptor)
             except Throwable:
-                _count_transaction(self.descriptor, "transport_fault")
+                self._count_transaction("transport_fault")
                 raise
         if not self._owner.alive:
-            _count_transaction(self.descriptor, "dead_object")
+            self._count_transaction("dead_object")
             raise DeadObjectException(
                 f"Transaction failed on {self.descriptor}: process {self._owner.name} is dead"
             )
         handler = self._handlers.get(code)
         if handler is None:
-            _count_transaction(self.descriptor, "unknown_code")
+            self._count_transaction("unknown_code")
             raise IllegalArgumentException(
                 f"Unknown transaction code {code!r} on {self.descriptor}"
             )
-        _count_transaction(self.descriptor, "ok")
+        self._count_transaction("ok")
         return handler(*args, **kwargs)
 
     def link_to_death(self, recipient: Callable[[ProcessRecord], None]) -> None:

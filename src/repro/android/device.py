@@ -20,6 +20,7 @@ from repro.android.log import TAG_BOOT, Logcat
 from repro.android.package_manager import PackageInfo, PackageManager
 from repro.android.permissions import PermissionManager
 from repro.android.process import ProcessTable
+from repro.android.runtime import RuntimeContext
 from repro.android.sensor import SensorManager, SensorService
 from repro.android.system_server import SystemServer
 
@@ -44,14 +45,20 @@ class Device:
         android_version: str = "7.1.1",
         logcat_capacity: Optional[int] = None,
         reboot_threshold: Optional[float] = None,
+        runtime: Optional[RuntimeContext] = None,
     ) -> None:
         self.name = name
         self.android_version = android_version
+        #: One shared context per device tree: every hook site below asks
+        #: this object (not the process-wide module) for its planes.  Pass a
+        #: pre-bound context to scope the device to a shard (repro.farm);
+        #: the default unbound context falls back to the global handles.
+        self.runtime = runtime if runtime is not None else RuntimeContext()
         self.clock = Clock()
-        self.logcat = Logcat(self.clock, capacity=logcat_capacity)
+        self.logcat = Logcat(self.clock, capacity=logcat_capacity, runtime=self.runtime)
         self.permissions = PermissionManager()
         self.packages = PackageManager(self.permissions)
-        self.processes = ProcessTable(self.clock, logcat=self.logcat)
+        self.processes = ProcessTable(self.clock, logcat=self.logcat, runtime=self.runtime)
         self.activity_manager = ActivityManager(
             device=self,
             packages=self.packages,

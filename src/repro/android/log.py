@@ -23,9 +23,9 @@ import enum
 from collections import deque
 from typing import Deque, Iterable, Iterator, List, Optional
 
-from repro import telemetry
 from repro.android.clock import Clock
 from repro.android.jtypes import NativeSignal, Throwable
+from repro.android.runtime import RuntimeContext
 from repro.telemetry.metrics import LOGCAT_BUFFERED, LOGCAT_DROPPED, LOGCAT_WRITTEN
 
 
@@ -103,8 +103,14 @@ class Logcat:
         experiments set an explicit cap for paper-scale runs.
     """
 
-    def __init__(self, clock: Clock, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        capacity: Optional[int] = None,
+        runtime: Optional[RuntimeContext] = None,
+    ) -> None:
         self._clock = clock
+        self.runtime = runtime if runtime is not None else RuntimeContext()
         self._records: Deque[LogRecord] = deque(maxlen=capacity)
         self._dropped = 0
 
@@ -133,7 +139,7 @@ class Logcat:
             )
             written += 1
         self._dropped += dropped_now
-        t = telemetry.get()
+        t = self.runtime.telemetry
         if t.enabled:
             metrics = t.metrics
             metrics.counter(LOGCAT_WRITTEN, "Log records appended to logcat.").inc(written)
@@ -236,7 +242,7 @@ class Logcat:
         for _ in range(count):
             self._records.popleft()
         self._dropped += count
-        t = telemetry.get()
+        t = self.runtime.telemetry
         if t.enabled and count:
             t.metrics.counter(
                 LOGCAT_DROPPED, "Log records evicted by the logcat ring buffer."

@@ -25,12 +25,19 @@ import itertools
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
-from repro import faults
 from repro.android.clock import Clock
 from repro.android.jtypes import Throwable
+from repro.android.runtime import RuntimeContext
 
 #: Android's foreground-dispatch ANR window.
 DEFAULT_ANR_TIMEOUT_MS = 5000.0
+
+#: First pid handed out by a fresh device (Android's app-pid floor, roughly).
+FIRST_APP_PID = 1000
+
+#: Fallback allocator for records constructed without a table (tests build
+#: bare ``ProcessRecord`` objects); never used by device-managed processes.
+_DETACHED_PIDS = itertools.count(900_000)
 
 
 class ProcessState(enum.Enum):
@@ -72,8 +79,6 @@ class AnrInfo:
 class ProcessRecord:
     """A running (or formerly running) app or system process."""
 
-    _pid_counter = itertools.count(1000)
-
     def __init__(
         self,
         name: str,
@@ -82,10 +87,13 @@ class ProcessRecord:
         is_system: bool = False,
         is_native: bool = False,
         anr_timeout_ms: float = DEFAULT_ANR_TIMEOUT_MS,
+        pid: Optional[int] = None,
+        runtime: Optional[RuntimeContext] = None,
     ) -> None:
         self.name = name
         self.package = package
-        self.pid = next(ProcessRecord._pid_counter)
+        self.pid = pid if pid is not None else next(_DETACHED_PIDS)
+        self.runtime = runtime if runtime is not None else RuntimeContext()
         self.clock = clock
         self.is_system = is_system
         self.is_native = is_native
@@ -184,16 +192,26 @@ class ProcessTable:
     study's classification never keys on them).
     """
 
-    def __init__(self, clock: Clock, logcat=None) -> None:
+    def __init__(self, clock: Clock, logcat=None, runtime: Optional[RuntimeContext] = None) -> None:
         self._clock = clock
         self._logcat = logcat
+        self.runtime = runtime if runtime is not None else RuntimeContext()
         self._processes: dict[str, ProcessRecord] = {}
         self.total_started = 0
         self.lmkd_kills = 0
+        #: Per-device pid watermark: each device hands out its own pid space,
+        #: so pids are deterministic per run and never leak across devices
+        #: (or across tests) the way the old class-level counter did.
+        self._next_pid = FIRST_APP_PID
 
     @property
     def clock(self) -> Clock:
         return self._clock
+
+    def allocate_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
 
     def get(self, name: str) -> Optional[ProcessRecord]:
         proc = self._processes.get(name)
@@ -208,7 +226,7 @@ class ProcessTable:
         is_system: bool = False,
         is_native: bool = False,
     ) -> ProcessRecord:
-        plane = faults.get()
+        plane = self.runtime.faults
         if plane.armed:
             # lmkd runs before the lookup: a due low-memory kill may reap
             # the very process being asked for, which then restarts cold --
@@ -222,6 +240,8 @@ class ProcessTable:
                 clock=self._clock,
                 is_system=is_system,
                 is_native=is_native,
+                pid=self.allocate_pid(),
+                runtime=self.runtime,
             )
             self._processes[name] = proc
             self.total_started += 1

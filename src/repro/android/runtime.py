@@ -1,0 +1,96 @@
+"""Per-device-tree runtime context: scoped fault and telemetry handles.
+
+Historically the chaos plane (:mod:`repro.faults`) and the telemetry plane
+(:mod:`repro.telemetry`) were process-wide module globals fetched at every
+hook site.  One process, one device pair, one plane -- fine for a serial
+study, fatal for a device farm: parallel shards each need their *own*
+fault-plan execution stream and their own metrics registry, or schedules
+and counters smear across shards and determinism dies.
+
+:class:`RuntimeContext` is the seam.  Every object in one device tree
+(device, logcat, process table, process records, binders, activity manager)
+shares a single context, and each hook site asks the context -- not the
+module -- for its plane:
+
+* an **unbound** context falls back to the process-wide handle
+  (``faults.get()`` / ``telemetry.get()``), so directly-constructed devices
+  behave exactly as before and ``faults.session(...)`` keeps working;
+* a **bound** context (what :mod:`repro.farm` builds per shard) pins the
+  device tree to a scoped :class:`~repro.faults.plane.FaultPlane` and
+  :class:`~repro.telemetry.Telemetry`, regardless of process-wide state.
+
+Contexts pickle *empty*: the fault plane keys execution state by
+``id(clock)`` (stale after unpickle) and a live telemetry handle may hold
+unpicklable heartbeat listeners, so a checkpoint snapshot never carries
+either.  Whoever restores the snapshot rebinds explicitly (see
+``repro.farm.shard``); an unrestored context simply falls back to the
+process-wide handles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.faults.plane import FaultPlane
+    from repro.telemetry import Telemetry
+
+
+class RuntimeContext:
+    """Scoped (or process-global-falling-back) fault/telemetry handles."""
+
+    def __init__(self, fault_plane=None, telemetry_handle=None) -> None:
+        self._fault_plane = fault_plane
+        self._telemetry = telemetry_handle
+
+    # -- resolution --------------------------------------------------------------
+    @property
+    def faults(self):
+        """The fault plane this device tree answers to."""
+        if self._fault_plane is not None:
+            return self._fault_plane
+        from repro import faults
+
+        return faults.get()
+
+    @property
+    def telemetry(self):
+        """The telemetry handle this device tree reports to."""
+        if self._telemetry is not None:
+            return self._telemetry
+        from repro import telemetry
+
+        return telemetry.get()
+
+    # -- binding -----------------------------------------------------------------
+    def bind_faults(self, plane: Optional["FaultPlane"]) -> None:
+        """Pin (or with ``None`` unpin) the fault plane for this tree."""
+        self._fault_plane = plane
+
+    def bind_telemetry(self, handle: Optional["Telemetry"]) -> None:
+        """Pin (or with ``None`` unpin) the telemetry handle for this tree."""
+        self._telemetry = handle
+
+    @property
+    def bound(self) -> bool:
+        return self._fault_plane is not None or self._telemetry is not None
+
+    # -- pickling ----------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # Handles never survive a pickle: plane execution state is keyed by
+        # id(clock) and telemetry may hold unpicklable listeners.  Shared
+        # identity across one device tree *is* preserved (pickle memo), so a
+        # restored tree can be rebound through any one reference.
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self._fault_plane = None
+        self._telemetry = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = []
+        if self._fault_plane is not None:
+            bound.append("faults")
+        if self._telemetry is not None:
+            bound.append("telemetry")
+        return f"<RuntimeContext bound={'+'.join(bound) or 'none'}>"

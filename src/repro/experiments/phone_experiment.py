@@ -6,18 +6,29 @@ comparison between the Android and AW ecosystem.  The experiments included
 all four campaigns, targeting a Nexus 6 running Android 7.1.1 […] After
 filtering the apps by the prefix com.android, we found 63 apps (595
 Activities and 218 Services)."
+
+Like the wear study, execution is sharded per package through
+:mod:`repro.farm` -- one fresh Nexus 6 per shard -- and ``workers=N`` fans
+the shards out over a process pool with bit-identical merged results.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
+from repro import faults, telemetry
 from repro.analysis.manifest import StudyCollector
 from repro.apps.catalog import Corpus, build_phone_corpus
 from repro.experiments.config import QUICK, ExperimentConfig
+from repro.farm import (
+    absorb_telemetry,
+    merge_collectors,
+    merge_summaries,
+    plan_shards,
+    run_shards,
+)
 from repro.qgj.campaigns import Campaign
-from repro.qgj.fuzzer import FuzzerLibrary, QGJ_MOBILE_PACKAGE
 from repro.qgj.results import FuzzSummary
 from repro.wear.device import PhoneDevice
 
@@ -29,6 +40,7 @@ class PhoneStudyResult:
     corpus: Corpus
     phone: PhoneDevice
     config: ExperimentConfig
+    shard_clock_ms: Tuple[float, ...] = ()
 
     @property
     def intents_sent(self) -> int:
@@ -39,31 +51,35 @@ def run_phone_study(
     config: ExperimentConfig = QUICK,
     packages: Optional[Sequence[str]] = None,
     campaigns: Sequence[Campaign] = tuple(Campaign),
+    workers: int = 1,
 ) -> PhoneStudyResult:
     """Run the four campaigns against the ``com.android.*`` population."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     corpus = build_phone_corpus(seed=config.phone_seed)
-    phone = PhoneDevice(
-        "nexus6", model="Nexus 6", logcat_capacity=config.logcat_capacity
-    )
-    corpus.install(phone)
-    collector = StudyCollector(corpus.packages())
-    fuzzer = FuzzerLibrary(phone, sender_package=QGJ_MOBILE_PACKAGE)
-    summary = FuzzSummary(device=phone.name)
-    adb = phone.adb
-
     if packages is None:
         packages = [app.package.package for app in corpus.apps]
-    adb.logcat_clear()
-    for package_name in packages:
-        for campaign in campaigns:
-            app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
-            summary.apps.append(app_result)
-            collector.fold(adb.logcat(), package_name, campaign.value)
-            adb.logcat_clear()
+    plane = faults.get()
+    specs = plan_shards(
+        "phone",
+        config,
+        packages,
+        campaigns,
+        base_plan=plane.plan if plane.armed else None,
+        telemetry_enabled=telemetry.enabled(),
+    )
+    results = run_shards(
+        specs,
+        workers=workers,
+        telemetry_handle=telemetry.get() if workers == 1 else None,
+    )
+    if workers != 1:
+        absorb_telemetry(telemetry.get(), results)
     return PhoneStudyResult(
-        collector=collector,
-        summary=summary,
+        collector=merge_collectors(results),
+        summary=merge_summaries(results),
         corpus=corpus,
-        phone=phone,
+        phone=results[-1].phone,
         config=config,
+        shard_clock_ms=tuple(result.clock_ms for result in results),
     )

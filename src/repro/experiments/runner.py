@@ -9,6 +9,7 @@ complete reproduced report.
 
 from __future__ import annotations
 
+import argparse
 import functools
 import sys
 from typing import Optional
@@ -28,8 +29,8 @@ def _study_cache(fn):
 
     The cache key includes the installed fault plan's fingerprint, so a
     result computed under one plan (or none) is never served to a run under
-    another.  Any extra keyword arguments (journal/resume/kill knobs) make
-    the run stateful and bypass the cache entirely.
+    another.  Any extra keyword arguments (journal/resume/kill/workers
+    knobs) make the run stateful and bypass the cache entirely.
     """
     cache = {}
 
@@ -53,8 +54,8 @@ def wear_study(config: ExperimentConfig, **kwargs) -> WearStudyResult:
 
 
 @_study_cache
-def phone_study(config: ExperimentConfig) -> PhoneStudyResult:
-    return run_phone_study(config)
+def phone_study(config: ExperimentConfig, **kwargs) -> PhoneStudyResult:
+    return run_phone_study(config, **kwargs)
 
 
 @_study_cache
@@ -62,10 +63,15 @@ def ui_study(config: ExperimentConfig) -> UiStudyResult:
     return run_ui_study(config)
 
 
-def full_report(config_name: str = "quick") -> str:
-    """Every table and figure of the paper, regenerated, as one report."""
-    wear = wear_study(config_name)
-    phone = phone_study(config_name)
+def full_report(config_name: str = "quick", workers: int = 1) -> str:
+    """Every table and figure of the paper, regenerated, as one report.
+
+    The report is byte-identical at every *workers* count: the farm merges
+    shard outputs back into the exact artifacts the serial run produces.
+    """
+    study_kwargs = {"workers": workers} if workers != 1 else {}
+    wear = wear_study(config_name, **study_kwargs)
+    phone = phone_study(config_name, **study_kwargs)
     ui = ui_study(config_name)
 
     sections = [
@@ -100,12 +106,17 @@ def full_report(config_name: str = "quick") -> str:
     return "\n".join(sections)
 
 
-def export_json(config_name: str = "quick", path: Optional[str] = None) -> str:
+def export_json(
+    config_name: str = "quick", path: Optional[str] = None, workers: int = 1
+) -> str:
     """The full study as machine-readable JSON (see analysis.export)."""
     from repro.analysis.export import assert_json_safe, dump_json, export_results
 
+    study_kwargs = {"workers": workers} if workers != 1 else {}
     results = export_results(
-        wear_study(config_name), phone_study(config_name), ui_study(config_name)
+        wear_study(config_name, **study_kwargs),
+        phone_study(config_name, **study_kwargs),
+        ui_study(config_name),
     )
     assert_json_safe(results)
     return dump_json(results, path=path)
@@ -113,8 +124,8 @@ def export_json(config_name: str = "quick", path: Optional[str] = None) -> str:
 
 USAGE = """\
 usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
-                       [--fault-seed N] [--journal FILE | --resume FILE]
-                       [--kill-after N]
+                       [--workers N] [--fault-seed N]
+                       [--journal FILE | --resume FILE] [--kill-after N]
 
 Runs the three reproduced studies (wear, phone, QGJ-UI) and prints every
 table and figure of the paper's evaluation.
@@ -124,6 +135,8 @@ options:
   --json FILE      write the machine-readable study export instead
   --telemetry DIR  enable campaign telemetry and export metrics.prom,
                    trace.jsonl and summary.txt under DIR
+  --workers N      shard the wear/phone studies across N worker processes
+                   (default: 1; the merged report is identical at any N)
   --fault-seed N   arm the chaos plane: inject seeded environment faults
                    (adb drops, binder failures, lmkd kills, log truncation)
   --journal FILE   checkpoint the wear study to FILE after every
@@ -131,21 +144,32 @@ options:
   --resume FILE    resume a journalled wear study; reproduces the summary
                    the uninterrupted run would have produced
   --kill-after N   simulate the host dying after N injections (exit 3,
-                   resumable from the journal)
+                   resumable from the journal; needs --workers 1)
   -h, --help       show this message\
 """
 
 
-def _take_flag_value(args: list, flag: str) -> Optional[str]:
-    """Pop ``flag VALUE`` from *args*; raises ValueError when VALUE is missing."""
-    if flag not in args:
-        return None
-    index = args.index(flag)
-    if index + 1 >= len(args):
-        raise ValueError(f"missing value for {flag}")
-    value = args[index + 1]
-    del args[index : index + 2]
-    return value
+class _UsageError(Exception):
+    """Raised by the parser in place of SystemExit so main() can return 2."""
+
+
+class _ArgumentParser(argparse.ArgumentParser):
+    def error(self, message):
+        raise _UsageError(message)
+
+
+def _build_parser() -> _ArgumentParser:
+    parser = _ArgumentParser(prog="python -m repro", add_help=False)
+    parser.add_argument("config", nargs="?", default="quick")
+    parser.add_argument("--json", dest="json_path", metavar="FILE")
+    parser.add_argument("--telemetry", dest="telemetry_dir", metavar="DIR")
+    parser.add_argument("--workers", type=int, default=1, metavar="N")
+    parser.add_argument("--fault-seed", dest="fault_seed", type=int, metavar="N")
+    checkpoint = parser.add_mutually_exclusive_group()
+    checkpoint.add_argument("--journal", dest="journal_path", metavar="FILE")
+    checkpoint.add_argument("--resume", dest="resume_path", metavar="FILE")
+    parser.add_argument("--kill-after", dest="kill_after", type=int, metavar="N")
+    return parser
 
 
 def main(argv=None) -> int:
@@ -154,35 +178,43 @@ def main(argv=None) -> int:
         print(USAGE)
         return 0
     try:
-        json_path = _take_flag_value(args, "--json")
-        telemetry_dir = _take_flag_value(args, "--telemetry")
-        fault_seed = _take_flag_value(args, "--fault-seed")
-        journal_path = _take_flag_value(args, "--journal")
-        resume_path = _take_flag_value(args, "--resume")
-        kill_after = _take_flag_value(args, "--kill-after")
-    except ValueError as exc:
+        opts = _build_parser().parse_args(args)
+    except _UsageError as exc:
         print(f"{exc}\n{USAGE}", file=sys.stderr)
         return 2
-    config_name = args[0] if args else "quick"
+    config_name = opts.config
     by_name(config_name)  # validate early
-    if fault_seed is not None:
-        faults.install(FaultPlan.chaos(seed=int(fault_seed)))
+    if opts.workers < 1:
+        print(f"--workers must be >= 1, got {opts.workers}\n{USAGE}", file=sys.stderr)
+        return 2
+    if opts.fault_seed is not None:
+        faults.install(FaultPlan.chaos(seed=opts.fault_seed))
     handle: Optional[telemetry.Telemetry] = None
-    if telemetry_dir is not None:
+    if opts.telemetry_dir is not None:
         handle = telemetry.enable()
         handle.progress.add_listener(lambda snap: print(snap.render(), file=sys.stderr))
-    if journal_path is not None or resume_path is not None or kill_after is not None:
-        path = resume_path if resume_path is not None else journal_path
+    stateful = (
+        opts.journal_path is not None
+        or opts.resume_path is not None
+        or opts.kill_after is not None
+    )
+    if stateful:
+        path = opts.resume_path if opts.resume_path is not None else opts.journal_path
         if path is None:
             print(f"--kill-after needs --journal or --resume\n{USAGE}", file=sys.stderr)
             return 2
+        if opts.kill_after is not None and opts.workers != 1:
+            print(f"--kill-after requires --workers 1\n{USAGE}", file=sys.stderr)
+            return 2
+        study_kwargs = {"journal_path": path}
+        if opts.resume_path is not None:
+            study_kwargs["resume"] = True
+        if opts.kill_after is not None:
+            study_kwargs["kill_after_injections"] = opts.kill_after
+        if opts.workers != 1:
+            study_kwargs["workers"] = opts.workers
         try:
-            result = wear_study(
-                config_name,
-                journal_path=path,
-                resume=resume_path is not None,
-                kill_after_injections=int(kill_after) if kill_after is not None else None,
-            )
+            result = wear_study(config_name, **study_kwargs)
         except CampaignKilled as exc:
             print(
                 f"campaign killed after {exc.injections} injections; resume "
@@ -195,15 +227,20 @@ def main(argv=None) -> int:
             f"{result.intents_sent} intents, {result.reboot_count} reboots, "
             f"{result.virtual_hours():.1f} virtual hours"
         )
-    elif json_path is not None:
-        export_json(config_name, path=json_path)
-        print(f"wrote {json_path}")
+    elif opts.json_path is not None:
+        if opts.workers != 1:
+            export_json(config_name, path=opts.json_path, workers=opts.workers)
+        else:
+            export_json(config_name, path=opts.json_path)
+        print(f"wrote {opts.json_path}")
+    elif opts.workers != 1:
+        print(full_report(config_name, workers=opts.workers))
     else:
         print(full_report(config_name))
     if handle is not None:
         from repro.telemetry.exporters import export_snapshot
 
-        written = export_snapshot(telemetry_dir, handle)
+        written = export_snapshot(opts.telemetry_dir, handle)
         for name, path in sorted(written.items()):
             print(f"wrote {path}")
     return 0

@@ -11,34 +11,36 @@ Reproduces the paper's main experiment end to end:
    it into the :class:`~repro.analysis.manifest.StudyCollector`, and clear
    the buffer (the per-app log-collection rhythm of the original study);
 5. return everything the tables/figures need.
+
+Execution is sharded per package through :mod:`repro.farm`: every package
+runs on its own freshly built device pair with its own scoped fault plane
+and telemetry handle.  ``workers=1`` (the default) runs the shards
+sequentially in-process; ``workers=N`` fans them out over a process pool.
+Because each shard is a pure function of its spec, the merged study is
+bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
-import contextlib
-import copy
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro import faults, telemetry
 from repro.analysis.manifest import StudyCollector
-from repro.android.process import ProcessRecord
 from repro.apps.catalog import Corpus, build_wear_corpus
 from repro.experiments.config import QUICK, ExperimentConfig
-from repro.faults.journal import CheckpointJournal, KillSwitch
-from repro.faults.retry import RetryPolicy
+from repro.farm import (
+    StudyManifest,
+    absorb_telemetry,
+    merge_collectors,
+    merge_summaries,
+    plan_shards,
+    run_shards,
+)
+from repro.faults.journal import KillSwitch
 from repro.qgj.campaigns import Campaign
-from repro.qgj.fuzzer import FuzzerLibrary, QGJ_WEAR_PACKAGE
-from repro.qgj.master import deploy
 from repro.qgj.results import FuzzSummary
-from repro.wear.device import PhoneDevice, WearDevice, pair
-
-#: Backoff for the operator-side adb calls (log pull / clear between
-#: segments); injection-side retries are the fuzzer's own policy.
-LOG_PULL_RETRY = RetryPolicy(max_attempts=6, base_delay_ms=200.0, max_delay_ms=5_000.0)
-
-#: Snapshot payload format version (bumped on incompatible layout changes).
-SNAPSHOT_VERSION = 1
+from repro.wear.device import PhoneDevice, WearDevice
 
 
 @dataclasses.dataclass
@@ -51,6 +53,10 @@ class WearStudyResult:
     watch: WearDevice
     phone: PhoneDevice
     config: ExperimentConfig
+    #: Final virtual-clock reading of every shard, in shard order.  The
+    #: study's virtual time is their sum: each clock advance (pacing,
+    #: backoff, boot) happens in exactly one shard's segment.
+    shard_clock_ms: Tuple[float, ...] = ()
 
     @property
     def reboot_count(self) -> int:
@@ -61,45 +67,9 @@ class WearStudyResult:
         return self.summary.total_sent
 
     def virtual_hours(self) -> float:
+        if self.shard_clock_ms:
+            return sum(self.shard_clock_ms) / 3_600_000.0
         return self.watch.clock.now_ms() / 3_600_000.0
-
-
-def _adb_call(fn, clock, key):
-    """One operator-side adb call, retried over session drops when armed."""
-    if faults.get().armed:
-        return LOG_PULL_RETRY.run(fn, clock, key=key)
-    return fn()
-
-
-def _load_resume_point(
-    journal: CheckpointJournal, config: ExperimentConfig
-) -> tuple:
-    """Validate the journal against the live run and return its state.
-
-    Returns ``(packages, campaigns, state)`` where *state* is the snapshot
-    payload or ``None`` (kill before the first segment completed).
-    """
-    header = journal.header()
-    if header.get("config") != config.name:
-        raise ValueError(
-            f"journal {journal.path} was recorded under config "
-            f"{header.get('config')!r}, not {config.name!r}"
-        )
-    if header.get("fault_fingerprint") != faults.fingerprint():
-        raise ValueError(
-            f"journal {journal.path} was recorded under fault plan "
-            f"{header.get('fault_fingerprint')!r}; the installed plan is "
-            f"{faults.fingerprint()!r} -- resume under the original plan"
-        )
-    packages = list(header["packages"])
-    campaigns = tuple(Campaign(value) for value in header["campaigns"])
-    state = journal.load_state()
-    if state is not None and state.get("version") != SNAPSHOT_VERSION:
-        raise ValueError(
-            f"snapshot {journal.state_path} has version {state.get('version')}, "
-            f"expected {SNAPSHOT_VERSION}"
-        )
-    return packages, campaigns, state
 
 
 def run_wear_study(
@@ -109,119 +79,82 @@ def run_wear_study(
     journal_path: Optional[str] = None,
     resume: bool = False,
     kill_after_injections: Optional[int] = None,
+    workers: int = 1,
 ) -> WearStudyResult:
     """Run the complete wearable fuzzing study.
 
-    With *journal_path*, every completed ``(package, campaign)`` segment is
-    recorded durably and a full-state snapshot is kept beside the journal;
-    a later call with ``resume=True`` (same config and fault plan) picks up
-    at the last completed segment and -- because the simulation is
-    deterministic on the virtual clock -- produces the identical final
-    summary.  *kill_after_injections* arms a
+    With *journal_path*, a study manifest plus one checkpoint journal per
+    shard record every completed ``(package, campaign)`` segment durably; a
+    later call with ``resume=True`` (same config, fault plan, and worker
+    count) picks up each shard at its last completed segment and -- because
+    every shard is deterministic on its own virtual clock -- produces the
+    identical final summary.  *kill_after_injections* arms a
     :class:`~repro.faults.journal.KillSwitch` that raises
     :class:`~repro.faults.errors.CampaignKilled` mid-campaign, simulating
-    the host dying (used by the resume tests and the CI chaos smoke).
+    the host dying (used by the resume tests and the CI chaos smoke); it
+    counts injections across the whole study and therefore requires
+    ``workers=1``.
     """
-    journal = CheckpointJournal(journal_path) if journal_path is not None else None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     kill_switch = (
         KillSwitch(kill_after_injections) if kill_after_injections is not None else None
     )
-    state = None
-    if resume:
-        if journal is None:
-            raise ValueError("resume=True requires journal_path")
-        packages, campaigns, state = _load_resume_point(journal, config)
-
-    if state is not None:
-        watch = state["watch"]
-        phone = state["phone"]
-        corpus = state["corpus"]
-        collector = state["collector"]
-        summary = state["summary"]
-        fuzzer = state["fuzzer"]
-        # The pid allocator is class-level; restore its watermark so the
-        # resumed run hands out the same pids the uninterrupted run would.
-        ProcessRecord._pid_counter = state["pids"]
-        faults.get().adopt(watch.clock, state["plane"])
-        fuzzer.kill_switch = kill_switch
-        start_index = state["index"]
-    else:
-        corpus = build_wear_corpus(seed=config.corpus_seed)
-        watch = WearDevice("moto360", logcat_capacity=config.logcat_capacity)
-        phone = PhoneDevice("nexus4", model="LG Nexus 4")
-        pair(phone, watch)
-        corpus.install(watch)
-        deploy(phone, watch)  # QGJ on both devices, as in the paper's setup
-
-        collector = StudyCollector(corpus.packages())
-        fuzzer = FuzzerLibrary(
-            watch, sender_package=QGJ_WEAR_PACKAGE, kill_switch=kill_switch
+    if kill_switch is not None and workers != 1:
+        raise ValueError(
+            "kill_after_injections requires workers=1: one kill switch "
+            "counts injections across the whole sequential study"
         )
-        summary = FuzzSummary(device=watch.name)
-        if packages is None:
-            packages = [app.package.package for app in corpus.apps]
-        start_index = 0
-        if journal is not None and not resume:
-            journal.start(
-                {
-                    "config": config.name,
-                    "fault_fingerprint": faults.fingerprint(),
-                    "packages": list(packages),
-                    "campaigns": [campaign.value for campaign in campaigns],
-                }
-            )
+    manifest = StudyManifest(journal_path) if journal_path is not None else None
+    if resume:
+        if manifest is None:
+            raise ValueError("resume=True requires journal_path")
+        header = manifest.validate_resume(
+            config=config.name,
+            fault_fingerprint=faults.fingerprint(),
+            workers=workers,
+        )
+        packages = list(header["packages"])
+        campaigns = tuple(Campaign(value) for value in header["campaigns"])
 
-    adb = watch.adb
+    corpus = build_wear_corpus(seed=config.corpus_seed)
+    if packages is None:
+        packages = [app.package.package for app in corpus.apps]
     plane = faults.get()
-    segments = [(p, c) for p in packages for c in campaigns]
-    if state is None:
-        _adb_call(adb.logcat_clear, watch.clock, key=("clear", -1))
-    t = telemetry.get()
-    with contextlib.ExitStack() as stack:
-        if t.enabled:
-            # The study's virtual time is the watch's clock from here on.
-            t.set_clock(watch.clock)
-            stack.enter_context(
-                t.tracer.span(
-                    "study", clock=watch.clock, study="wear", config=config.name
-                )
-            )
-        for index in range(start_index, len(segments)):
-            package_name, campaign = segments[index]
-            app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
-            summary.apps.append(app_result)
-            log_text = _adb_call(adb.logcat, watch.clock, key=("logs", index))
-            collector.fold(log_text, package_name, campaign.value)
-            _adb_call(adb.logcat_clear, watch.clock, key=("clear", index))
-            if journal is not None:
-                journal.append(
-                    {
-                        "type": "segment",
-                        "index": index,
-                        "package": package_name,
-                        "campaign": campaign.value,
-                        "sent": app_result.sent,
-                    }
-                )
-                journal.save_state(
-                    {
-                        "version": SNAPSHOT_VERSION,
-                        "index": index + 1,
-                        "watch": watch,
-                        "phone": phone,
-                        "corpus": corpus,
-                        "collector": collector,
-                        "summary": summary,
-                        "fuzzer": fuzzer,
-                        "pids": copy.copy(ProcessRecord._pid_counter),
-                        "plane": plane.capture(watch.clock),
-                    }
-                )
+    specs = plan_shards(
+        "wear",
+        config,
+        packages,
+        campaigns,
+        base_plan=plane.plan if plane.armed else None,
+        telemetry_enabled=telemetry.enabled(),
+        manifest=manifest,
+        resume=resume,
+    )
+    if manifest is not None and not resume:
+        manifest.start(
+            config=config.name,
+            fault_fingerprint=faults.fingerprint(),
+            packages=list(packages),
+            campaigns=[campaign.value for campaign in campaigns],
+            workers=workers,
+            shards=specs,
+        )
+    results = run_shards(
+        specs,
+        workers=workers,
+        kill_switch=kill_switch,
+        telemetry_handle=telemetry.get() if workers == 1 else None,
+    )
+    if workers != 1:
+        absorb_telemetry(telemetry.get(), results)
+    last = results[-1]
     return WearStudyResult(
-        collector=collector,
-        summary=summary,
+        collector=merge_collectors(results),
+        summary=merge_summaries(results),
         corpus=corpus,
-        watch=watch,
-        phone=phone,
+        watch=last.watch,
+        phone=last.phone,
         config=config,
+        shard_clock_ms=tuple(result.clock_ms for result in results),
     )

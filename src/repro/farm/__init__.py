@@ -1,0 +1,56 @@
+"""The device farm: sharded execution of the fuzzing studies.
+
+The paper ran one watch on one operator's desk; campaign wall-clock was
+bounded by a single device.  Real intent-fuzzing deployments (and every
+fuzzing farm since) scale the other way: partition the target population,
+give every partition its own device, run partitions in parallel, merge the
+evidence.  This package is that farm for the simulator:
+
+* :mod:`repro.farm.partition` -- splits a corpus into per-package shards
+  and derives each shard's seed and fault plan (``corpus seed xor
+  crc32(shard key)``), so a shard's behaviour is a pure function of its
+  spec, never of which worker ran it or what ran before it;
+* :mod:`repro.farm.shard` -- :func:`run_shard`: builds a fresh device pair
+  per shard with its *own* scoped fault plane and telemetry handle
+  (:class:`~repro.android.runtime.RuntimeContext`), runs the shard's
+  ``(package, campaign)`` segments, and returns a picklable
+  :class:`ShardResult`;
+* :mod:`repro.farm.pool` -- :func:`run_shards`: ``workers=1`` runs shards
+  sequentially in-process (deterministic reference path, live telemetry,
+  kill-switch support); ``workers>1`` fans out over a
+  :mod:`multiprocessing` pool;
+* :mod:`repro.farm.merge` -- collapses shard outputs into the exact
+  artifacts the analysis layer consumes (:meth:`FuzzSummary.merge`,
+  :meth:`StudyCollector.merge`, metrics/span absorption);
+* :mod:`repro.farm.journal` -- :class:`StudyManifest`: one manifest over
+  per-shard checkpoint journals, validating config / fault plan / worker
+  count on resume.
+
+**Determinism contract.**  Every shard starts its own virtual clock at
+zero and is seeded from its spec alone, so the merged study is bit-identical
+at any worker count: ``workers=4`` reproduces ``workers=1`` reproduces the
+pre-farm serial tables.
+"""
+
+from __future__ import annotations
+
+from repro.farm.journal import StudyManifest
+from repro.farm.merge import absorb_telemetry, merge_collectors, merge_summaries
+from repro.farm.partition import derive_plan, derive_seed, plan_shards, shard_packages
+from repro.farm.pool import run_shards
+from repro.farm.shard import ShardResult, ShardSpec, run_shard
+
+__all__ = [
+    "ShardResult",
+    "ShardSpec",
+    "StudyManifest",
+    "absorb_telemetry",
+    "derive_plan",
+    "derive_seed",
+    "merge_collectors",
+    "merge_summaries",
+    "plan_shards",
+    "run_shard",
+    "run_shards",
+    "shard_packages",
+]

@@ -1,0 +1,44 @@
+"""Merging shard outputs into the study-wide artifacts.
+
+The analysis layer (tables, figures, exports, ``dumpsys telemetry``) never
+learns the farm exists: shard summaries concatenate through
+:meth:`FuzzSummary.merge`, shard collectors fold through
+:meth:`StudyCollector.merge`, and worker-local telemetry is absorbed into
+the live handle -- counters sum, gauges take the last shard's level,
+histogram buckets add elementwise, and spans are re-based onto the live
+tracer's id sequence.  Everything merges in shard (spec) order, so the
+merged study reads exactly like the serial run that visited the packages in
+the same order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.manifest import StudyCollector
+from repro.farm.shard import ShardResult
+from repro.qgj.results import FuzzSummary
+
+
+def merge_summaries(results: Sequence[ShardResult]) -> FuzzSummary:
+    return FuzzSummary.merge([result.summary for result in results])
+
+
+def merge_collectors(results: Sequence[ShardResult]) -> StudyCollector:
+    return StudyCollector.merge([result.collector for result in results])
+
+
+def absorb_telemetry(handle, results: Sequence[ShardResult]) -> None:
+    """Fold worker-local telemetry into *handle*, in shard order.
+
+    In-process shards carry no telemetry payload (they recorded straight
+    onto the live handle), so this is a no-op for them and for disabled
+    telemetry.
+    """
+    if handle is None or not handle.enabled:
+        return
+    for result in results:
+        if result.metrics is not None:
+            handle.metrics.merge_from(result.metrics)
+        if result.spans or result.spans_dropped:
+            handle.tracer.absorb(result.spans, result.spans_dropped)

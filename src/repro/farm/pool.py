@@ -1,0 +1,57 @@
+"""Shard execution: sequential in-process, or a multiprocessing pool.
+
+``workers=1`` is the deterministic reference path: shards run one after
+another in this process, against the live telemetry handle (so heartbeats
+stream and ``dumpsys telemetry`` works mid-run) and an optional shared
+kill-switch that counts injections across the whole study.  ``workers>1``
+fans the same specs out over a ``multiprocessing`` pool; each worker builds
+everything from its picklable spec, so the merged study is bit-identical to
+the sequential one -- the pool only changes wall-clock, never results.
+
+``fork`` is preferred where available (Linux): workers inherit the loaded
+modules instead of re-importing the world, and shard specs stay cheap to
+ship.  ``Pool.map`` preserves spec order, which the merge layer relies on
+for shard-ordered concatenation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence
+
+from repro.faults.journal import KillSwitch
+from repro.farm.shard import ShardResult, ShardSpec, run_shard
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_shards(
+    specs: Sequence[ShardSpec],
+    workers: int = 1,
+    kill_switch: Optional[KillSwitch] = None,
+    telemetry_handle=None,
+) -> List[ShardResult]:
+    """Run every shard and return results in spec order."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    specs = list(specs)
+    if workers == 1:
+        return [
+            run_shard(spec, kill_switch=kill_switch, telemetry_handle=telemetry_handle)
+            for spec in specs
+        ]
+    if kill_switch is not None:
+        raise ValueError(
+            "kill_after_injections requires workers=1: one kill switch "
+            "counts injections across the whole sequential study"
+        )
+    if not specs:
+        return []
+    processes = min(workers, len(specs))
+    with _pool_context().Pool(processes=processes) as pool:
+        return pool.map(run_shard, specs)

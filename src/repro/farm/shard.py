@@ -1,0 +1,354 @@
+"""One shard: a fresh device pair running its slice of the study.
+
+:func:`run_shard` is the farm's unit of work and is deliberately a pure
+function of its :class:`ShardSpec`: it builds its own corpus, its own
+device(s) on a virtual clock starting at zero, its own scoped fault plane
+and (in worker processes) its own telemetry handle, runs the shard's
+``(package, campaign)`` segments with exactly the serial harness's rhythm
+-- fuzz, pull the log, fold, clear -- and returns a picklable
+:class:`ShardResult`.  Nothing it touches is process-global, which is the
+whole determinism argument: a shard cannot observe which worker ran it,
+what ran before it, or how many siblings it has.
+
+Checkpointing is per shard: each shard keeps its own
+:class:`~repro.faults.journal.CheckpointJournal` segment file and snapshot
+under the study manifest, and resuming a shard restores the snapshot,
+rebinds the (deliberately unpickled) :class:`RuntimeContext`, and adopts
+the fault plan's execution stream -- the same capture/adopt dance the
+serial harness used, now scoped to one device tree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.analysis.manifest import StudyCollector
+from repro.android.runtime import RuntimeContext
+from repro.apps.catalog import build_phone_corpus, build_wear_corpus
+from repro.faults.journal import CheckpointJournal, KillSwitch
+from repro.faults.plan import FaultPlan
+from repro.faults.plane import NOOP_PLANE, FaultPlane
+from repro.faults.retry import RetryPolicy
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import QGJ_MOBILE_PACKAGE, QGJ_WEAR_PACKAGE, FuzzerLibrary
+from repro.qgj.master import deploy
+from repro.qgj.results import FuzzSummary
+from repro.telemetry import (
+    DEFAULT_SPAN_CAPACITY,
+    NOOP_HEARTBEAT,
+    NOOP_REGISTRY,
+    NOOP_TRACER,
+    Heartbeat,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    Tracer,
+)
+from repro.telemetry.progress import DEFAULT_EVERY_INJECTIONS
+from repro.wear.device import PhoneDevice, WearDevice, pair
+
+if TYPE_CHECKING:  # pragma: no cover - avoids the experiments<->farm cycle
+    from repro.experiments.config import ExperimentConfig
+
+#: Backoff for the operator-side adb calls (log pull / clear between
+#: segments); injection-side retries are the fuzzer's own policy.
+LOG_PULL_RETRY = RetryPolicy(max_attempts=6, base_delay_ms=200.0, max_delay_ms=5_000.0)
+
+#: Snapshot payload format version (bumped on incompatible layout changes).
+#: Version 2: per-shard snapshots; the class-global pid watermark is gone
+#: (pids are allocated per device) and the runtime context pickles empty.
+SNAPSHOT_VERSION = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to run one shard, picklable by design."""
+
+    study: str                          # "wear" | "phone"
+    index: int                          # position in the study's shard plan
+    key: str                            # shard identity (the package name)
+    packages: Tuple[str, ...]
+    campaigns: Tuple[Campaign, ...]
+    config: "ExperimentConfig"
+    seed: int                           # derive_seed(corpus_seed, key)
+    plan: Optional[FaultPlan] = None    # shard-private fault plan
+    telemetry_enabled: bool = False     # worker shards build a local handle
+    span_capacity: int = DEFAULT_SPAN_CAPACITY
+    heartbeat_every: int = DEFAULT_EVERY_INJECTIONS
+    journal_path: Optional[str] = None  # per-shard checkpoint journal
+    resume: bool = False
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """What one shard ships back for merging (picklable by design)."""
+
+    index: int
+    key: str
+    summary: FuzzSummary
+    collector: StudyCollector
+    watch: Optional[WearDevice]
+    phone: Optional[PhoneDevice]
+    clock_ms: float
+    #: Telemetry captured by a worker-local handle; ``None``/empty when the
+    #: shard ran in-process against the live handle (nothing to merge).
+    metrics: Optional[MetricsRegistry] = None
+    spans: List[Span] = dataclasses.field(default_factory=list)
+    spans_dropped: int = 0
+
+
+def _fresh_handle(spec: ShardSpec) -> Telemetry:
+    """A shard-local telemetry handle for worker processes.
+
+    Never the (fork-inherited) process-wide handle: a forked worker would
+    otherwise double-count everything recorded before the fork once the
+    parent merges the shard registries back in.
+    """
+    if not spec.telemetry_enabled:
+        return Telemetry(False, NOOP_REGISTRY, NOOP_TRACER, NOOP_HEARTBEAT)
+    registry = MetricsRegistry()
+    return Telemetry(
+        True,
+        registry,
+        Tracer(capacity=spec.span_capacity),
+        Heartbeat(registry, every_injections=spec.heartbeat_every),
+    )
+
+
+def _adb_call(fn, clock, plane, handle, key):
+    """One operator-side adb call, retried over session drops when armed."""
+    if plane.armed:
+        return LOG_PULL_RETRY.run(fn, clock, key=key, telemetry_handle=handle)
+    return fn()
+
+
+def run_shard(
+    spec: ShardSpec,
+    kill_switch: Optional[KillSwitch] = None,
+    telemetry_handle: Optional[Telemetry] = None,
+) -> ShardResult:
+    """Run one shard end to end.
+
+    *telemetry_handle* is passed by the in-process (``workers=1``) path so
+    counters, spans and heartbeats land directly on the live handle; worker
+    processes leave it ``None`` and get a shard-local handle whose registry
+    and spans ride home on the :class:`ShardResult`.  *kill_switch* is only
+    meaningful in-process, where one switch counts injections across the
+    whole sequential study.
+    """
+    owns_handle = telemetry_handle is None
+    handle = _fresh_handle(spec) if owns_handle else telemetry_handle
+    # Bind explicitly even when no plan is armed: a forked worker inherits
+    # the parent's module globals, and the fallback would leak the study
+    # plane's (unsharded) schedule into the shard.
+    plane = (
+        FaultPlane(spec.plan, telemetry_handle=handle)
+        if spec.plan is not None
+        else NOOP_PLANE
+    )
+    runtime = RuntimeContext(fault_plane=plane, telemetry_handle=handle)
+    if spec.study == "wear":
+        result = _run_wear_shard(spec, handle, plane, runtime, kill_switch)
+    elif spec.study == "phone":
+        result = _run_phone_shard(spec, handle, plane, runtime, kill_switch)
+    else:
+        raise ValueError(f"unknown shard study kind: {spec.study!r}")
+    if owns_handle and handle.enabled:
+        result.metrics = handle.metrics
+        result.spans = handle.tracer.spans()
+        result.spans_dropped = handle.tracer.dropped
+    return result
+
+
+def _load_shard_state(journal: CheckpointJournal):
+    state = journal.load_state()
+    if state is not None and state.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot {journal.state_path} has version {state.get('version')}, "
+            f"expected {SNAPSHOT_VERSION}"
+        )
+    return state
+
+
+def _run_wear_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
+    config = spec.config
+    journal = (
+        CheckpointJournal(spec.journal_path) if spec.journal_path is not None else None
+    )
+    segments = [(p, c) for p in spec.packages for c in spec.campaigns]
+    state = None
+    if spec.resume and journal is not None:
+        state = _load_shard_state(journal)
+
+    if state is not None:
+        watch = state["watch"]
+        phone = state["phone"]
+        corpus = state["corpus"]
+        collector = state["collector"]
+        summary = state["summary"]
+        fuzzer = state["fuzzer"]
+        # The device tree unpickles with an empty RuntimeContext (shared
+        # across the tree by the pickle memo); rebind it to this shard's
+        # scoped plane and handle, then adopt the captured fault stream.
+        watch.runtime.bind_faults(plane)
+        watch.runtime.bind_telemetry(handle)
+        plane.adopt(watch.clock, state["plane"])
+        fuzzer.kill_switch = kill_switch
+        start_index = state["index"]
+        if start_index >= len(segments):
+            # The shard had already completed when the study was killed:
+            # its snapshot *is* the result, no segment needs re-running.
+            return ShardResult(
+                index=spec.index,
+                key=spec.key,
+                summary=summary,
+                collector=collector,
+                watch=watch,
+                phone=phone,
+                clock_ms=watch.clock.now_ms(),
+            )
+    else:
+        corpus = build_wear_corpus(seed=config.corpus_seed)
+        watch = WearDevice(
+            "moto360", logcat_capacity=config.logcat_capacity, runtime=runtime
+        )
+        phone = PhoneDevice("nexus4", model="LG Nexus 4", runtime=runtime)
+        pair(phone, watch)
+        corpus.install(watch)
+        deploy(phone, watch)  # QGJ on both devices, as in the paper's setup
+        collector = StudyCollector(corpus.packages())
+        fuzzer = FuzzerLibrary(
+            watch, sender_package=QGJ_WEAR_PACKAGE, kill_switch=kill_switch
+        )
+        summary = FuzzSummary(device=watch.name)
+        start_index = 0
+        if journal is not None:
+            # Also on resume-with-no-snapshot: the kill landed before this
+            # shard's first checkpoint, so it restarts from scratch.
+            journal.start(
+                {
+                    "config": config.name,
+                    "shard": spec.key,
+                    "index": spec.index,
+                    "fault_fingerprint": plane.fingerprint(),
+                    "packages": list(spec.packages),
+                    "campaigns": [campaign.value for campaign in spec.campaigns],
+                }
+            )
+
+    adb = watch.adb
+    if state is None:
+        _adb_call(adb.logcat_clear, watch.clock, plane, handle, key=("clear", -1))
+    if handle.enabled:
+        # The shard's virtual time is its watch's clock from here on.
+        handle.set_clock(watch.clock)
+    with contextlib.ExitStack() as stack:
+        if handle.enabled:
+            stack.enter_context(
+                handle.tracer.span(
+                    "study",
+                    clock=watch.clock,
+                    study="wear",
+                    config=config.name,
+                    shard=spec.key,
+                )
+            )
+        for index in range(start_index, len(segments)):
+            package_name, campaign = segments[index]
+            app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
+            summary.apps.append(app_result)
+            log_text = _adb_call(
+                adb.logcat, watch.clock, plane, handle, key=("logs", index)
+            )
+            collector.fold(log_text, package_name, campaign.value)
+            _adb_call(
+                adb.logcat_clear, watch.clock, plane, handle, key=("clear", index)
+            )
+            if journal is not None:
+                journal.append(
+                    {
+                        "type": "segment",
+                        "index": index,
+                        "package": package_name,
+                        "campaign": campaign.value,
+                        "sent": app_result.sent,
+                    }
+                )
+                journal.save_state(
+                    {
+                        "version": SNAPSHOT_VERSION,
+                        "index": index + 1,
+                        "watch": watch,
+                        "phone": phone,
+                        "corpus": corpus,
+                        "collector": collector,
+                        "summary": summary,
+                        "fuzzer": fuzzer,
+                        "plane": plane.capture(watch.clock),
+                    }
+                )
+    return ShardResult(
+        index=spec.index,
+        key=spec.key,
+        summary=summary,
+        collector=collector,
+        watch=watch,
+        phone=phone,
+        clock_ms=watch.clock.now_ms(),
+    )
+
+
+def _run_phone_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
+    config = spec.config
+    if spec.journal_path is not None:
+        raise ValueError("the phone study does not support checkpoint journals")
+    corpus = build_phone_corpus(seed=config.phone_seed)
+    device = PhoneDevice(
+        "nexus6",
+        model="Nexus 6",
+        logcat_capacity=config.logcat_capacity,
+        runtime=runtime,
+    )
+    corpus.install(device)
+    collector = StudyCollector(corpus.packages())
+    fuzzer = FuzzerLibrary(
+        device, sender_package=QGJ_MOBILE_PACKAGE, kill_switch=kill_switch
+    )
+    summary = FuzzSummary(device=device.name)
+    adb = device.adb
+    _adb_call(adb.logcat_clear, device.clock, plane, handle, key=("clear", -1))
+    if handle.enabled:
+        handle.set_clock(device.clock)
+    segments = [(p, c) for p in spec.packages for c in spec.campaigns]
+    with contextlib.ExitStack() as stack:
+        if handle.enabled:
+            stack.enter_context(
+                handle.tracer.span(
+                    "study",
+                    clock=device.clock,
+                    study="phone",
+                    config=config.name,
+                    shard=spec.key,
+                )
+            )
+        for index, (package_name, campaign) in enumerate(segments):
+            app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
+            summary.apps.append(app_result)
+            log_text = _adb_call(
+                adb.logcat, device.clock, plane, handle, key=("logs", index)
+            )
+            collector.fold(log_text, package_name, campaign.value)
+            _adb_call(
+                adb.logcat_clear, device.clock, plane, handle, key=("clear", index)
+            )
+    return ShardResult(
+        index=spec.index,
+        key=spec.key,
+        summary=summary,
+        collector=collector,
+        watch=None,
+        phone=device,
+        clock_ms=device.clock.now_ms(),
+    )

@@ -46,8 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
 LOGCAT_TRUNCATE_FRACTION = 0.5
 
 
-def _count_fault(event: FaultEvent, clock: Optional["Clock"]) -> None:
-    t = telemetry.get()
+def _count_fault(event: FaultEvent, clock: Optional["Clock"], handle=None) -> None:
+    t = handle if handle is not None else telemetry.get()
     if not t.enabled:
         return
     t.metrics.counter(
@@ -67,11 +67,14 @@ class FaultPlane:
 
     armed = True
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, telemetry_handle=None) -> None:
         self.plan = plan
         self._executions: Dict[int, PlanExecution] = {}
         #: Strong refs so id() keys stay unique for the plane's lifetime.
         self._clocks: Dict[int, "Clock"] = {}
+        #: Scoped telemetry for fault counters (a farm shard's handle);
+        #: ``None`` falls back to the process-wide handle per event.
+        self._telemetry = telemetry_handle
 
     # -- execution state ---------------------------------------------------------
     def execution_for(self, clock: "Clock") -> PlanExecution:
@@ -110,11 +113,11 @@ class FaultPlane:
         execution = self.execution_for(clock)
         now = clock.now_ms()
         for event in execution.take_due(FaultKind.LOGCAT_TRUNCATE, now):
-            _count_fault(event, clock)
+            _count_fault(event, clock, self._telemetry)
             self._truncate_logcat(device)
         drops = execution.take_due(FaultKind.ADB_DROP, now, limit=1)
         if drops:
-            _count_fault(drops[0], clock)
+            _count_fault(drops[0], clock, self._telemetry)
             raise AdbSessionDropped(
                 f"adb: device {device.name!r} not found (session dropped at "
                 f"{drops[0].at_ms:.0f}ms)"
@@ -134,7 +137,7 @@ class FaultPlane:
         if not due:
             return
         event = due[0]
-        _count_fault(event, clock)
+        _count_fault(event, clock, self._telemetry)
         if event.param == BINDER_TOO_LARGE:
             raise TransactionTooLargeException(
                 f"data parcel size exceeds binder buffer on {descriptor}"
@@ -158,7 +161,7 @@ class FaultPlane:
             )
             if not victims:
                 continue
-            _count_fault(event, clock)
+            _count_fault(event, clock, self._telemetry)
             victim = execution.victim_rng.choice(victims)
             table.lmkd_kill(victim)
 

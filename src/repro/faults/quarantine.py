@@ -45,10 +45,12 @@ class CircuitBreaker:
         self._consecutive: Dict[str, int] = {}
         self._quarantined: Dict[str, QuarantineEvent] = {}
 
-    def record_failure(self, package: str, error: str = "") -> bool:
+    def record_failure(self, package: str, error: str = "", telemetry_handle=None) -> bool:
         """Record one exhausted-retries transport failure.
 
         Returns ``True`` when this failure newly quarantines the package.
+        *telemetry_handle* scopes the quarantine counter (a farm shard's
+        handle); by default the process-wide handle is used.
         """
         if package in self._quarantined:
             return False
@@ -60,7 +62,7 @@ class CircuitBreaker:
             package=package, consecutive_failures=count, last_error=error
         )
         self._quarantined[package] = event
-        t = telemetry.get()
+        t = telemetry_handle if telemetry_handle is not None else telemetry.get()
         if t.enabled:
             t.metrics.counter(
                 QUARANTINED,

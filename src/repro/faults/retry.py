@@ -83,11 +83,14 @@ class RetryPolicy:
         clock,
         key: Tuple = (),
         on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+        telemetry_handle=None,
     ) -> T:
         """Call *fn*, retrying transient errors with backoff on *clock*.
 
         Raises the last transient error once attempts are exhausted; any
-        non-transient exception propagates immediately.
+        non-transient exception propagates immediately.  *telemetry_handle*
+        scopes the retry counters (a farm shard's handle); by default the
+        process-wide handle is used.
         """
         delays = self.schedule(key)
         for attempt in range(self.max_attempts):
@@ -97,15 +100,15 @@ class RetryPolicy:
                 if attempt >= len(delays):
                     raise
                 delay = delays[attempt]
-                self._count_retry(exc, delay)
+                self._count_retry(exc, delay, telemetry_handle)
                 if on_retry is not None:
                     on_retry(attempt, delay, exc)
                 clock.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
-    def _count_retry(exc: BaseException, delay: float) -> None:
-        t = telemetry.get()
+    def _count_retry(exc: BaseException, delay: float, telemetry_handle=None) -> None:
+        t = telemetry_handle if telemetry_handle is not None else telemetry.get()
         if not t.enabled:
             return
         t.metrics.counter(

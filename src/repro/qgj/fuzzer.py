@@ -24,7 +24,6 @@ import contextlib
 import dataclasses
 from typing import Iterable, List, Optional, Sequence
 
-from repro import faults, telemetry
 from repro.android.component import ComponentInfo, ComponentKind
 from repro.android.device import Device
 from repro.android.jtypes import ActivityNotFoundException, SecurityException
@@ -135,7 +134,7 @@ class FuzzerLibrary:
         )
         clock = self._device.clock
         boots_before = self._device.boot_count
-        t = telemetry.get()
+        t = self._device.runtime.telemetry
         with contextlib.ExitStack() as stack:
             if t.enabled:
                 stack.enter_context(
@@ -202,7 +201,8 @@ class FuzzerLibrary:
             name, dispatch = am.start_service_with_result(self.sender_package, intent)
             return None if name is None else dispatch
 
-        plane = faults.get()
+        runtime = self._device.runtime
+        plane = runtime.faults
         outcome = None
         dispatch = None
         try:
@@ -217,12 +217,17 @@ class FuzzerLibrary:
                         self._device.clock,
                         key=(result.component, result.campaign.value, result.sent),
                         on_retry=count_retry,
+                        telemetry_handle=runtime.telemetry,
                     )
                 except TRANSIENT_ERRORS as exc:
                     # Retries exhausted: an infrastructure loss, not an app
                     # behaviour -- kept out of the classification buckets.
                     result.transport_failures += 1
-                    self.quarantine.record_failure(info.package, type(exc).__name__)
+                    self.quarantine.record_failure(
+                        info.package,
+                        type(exc).__name__,
+                        telemetry_handle=runtime.telemetry,
+                    )
                     if self.quarantine.is_quarantined(info.package):
                         result.quarantined = True
                         result.aborted = True
@@ -279,7 +284,7 @@ class FuzzerLibrary:
             return AppRunResult(package=package_name, campaign=campaign, quarantined=True)
         app_result = AppRunResult(package=package_name, campaign=campaign)
         wanted = set(kinds)
-        t = telemetry.get()
+        t = self._device.runtime.telemetry
         with contextlib.ExitStack() as stack:
             if t.enabled:
                 clock = self._device.clock

@@ -93,6 +93,38 @@ class FuzzSummary:
     device: str
     apps: List[AppRunResult] = dataclasses.field(default_factory=list)
 
+    @classmethod
+    def merge(cls, summaries: List["FuzzSummary"]) -> "FuzzSummary":
+        """Combine per-shard summaries into one study summary.
+
+        Shard results concatenate in the order given (the farm passes shards
+        in corpus order, so a merged summary lists apps exactly as a serial
+        run would).  Two shards reporting the same ``(package, campaign)``
+        segment is a partitioning bug and is rejected, as is merging results
+        from different devices or an empty list.
+        """
+        summaries = list(summaries)
+        if not summaries:
+            raise ValueError("nothing to merge: no summaries")
+        devices = {summary.device for summary in summaries}
+        if len(devices) > 1:
+            raise ValueError(
+                f"cannot merge summaries from different devices: {sorted(devices)}"
+            )
+        merged = cls(device=summaries[0].device)
+        seen = set()
+        for summary in summaries:
+            for app in summary.apps:
+                key = (app.package, app.campaign)
+                if key in seen:
+                    raise ValueError(
+                        f"overlapping shard results: ({app.package}, "
+                        f"{app.campaign.value}) reported by more than one shard"
+                    )
+                seen.add(key)
+                merged.apps.append(app)
+        return merged
+
     @property
     def total_sent(self) -> int:
         return sum(app.sent for app in self.apps)

@@ -29,7 +29,6 @@ import string
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
 
-from repro import faults, telemetry
 from repro.android.device import Device
 from repro.faults.retry import RetryPolicy
 from repro.qgj.monkey import Monkey, MonkeyEvent, parse_monkey_log
@@ -175,13 +174,13 @@ class QGJUi:
         logcat = self._device.logcat
         result = UiInjectionResult(mode=mode)
         log_mark = len(logcat)
-        t = telemetry.get()
+        t = self._device.runtime.telemetry
         with contextlib.ExitStack() as stack:
             if t.enabled:
                 stack.enter_context(
                     t.tracer.span("ui_replay", clock=self._device.clock, mode=mode)
                 )
-            plane = faults.get()
+            plane = self._device.runtime.faults
             retry = RetryPolicy()
             for event in events:
                 mutant = mutator.mutate(event, mode)

@@ -66,6 +66,9 @@ class CounterChild:
             raise ValueError(f"counters only go up, got {amount}")
         self.value += amount
 
+    def merge_from(self, other: "CounterChild") -> None:
+        self.value += other.value
+
 
 class GaugeChild:
     """One labeled series of a :class:`Gauge`."""
@@ -83,6 +86,10 @@ class GaugeChild:
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+
+    def merge_from(self, other: "GaugeChild") -> None:
+        # Gauges are level measurements: the later merge (shard order) wins.
+        self.value = other.value
 
 
 class HistogramChild:
@@ -111,6 +118,17 @@ class HistogramChild:
             total += c
             out.append(total)
         return out
+
+    def merge_from(self, other: "HistogramChild") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{other.buckets} != {self.buckets}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        self.count += other.count
 
 
 class _Metric:
@@ -250,6 +268,27 @@ class MetricsRegistry:
         buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        Counters and histogram buckets sum, gauges take the incoming value
+        (merge order is shard order, so the last shard's level wins), and a
+        name registered with a conflicting kind or label set is an error.
+        The farm uses this to collapse per-shard registries into the
+        study-wide registry the exporters render.
+        """
+        for metric in other.collect():
+            if isinstance(metric, Histogram):
+                mine = self.histogram(
+                    metric.name, metric.help, metric.labelnames, buckets=metric.buckets
+                )
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(metric.name, metric.help, metric.labelnames)
+            else:
+                mine = self.counter(metric.name, metric.help, metric.labelnames)
+            for labels, child in metric.samples():
+                mine.labels(**labels).merge_from(child)
 
     def get(self, name: str) -> Optional[_Metric]:
         return self._metrics.get(name)

@@ -137,6 +137,27 @@ class Tracer:
                 self._dropped += 1
             self._finished.append(span)
 
+    def absorb(self, spans: List[Span], dropped: int = 0) -> None:
+        """Append finished spans from another tracer (a farm shard's).
+
+        Span ids are re-issued from this tracer's sequence so merged traces
+        stay unique; parent links are remapped within the absorbed batch and
+        severed (→ root) when the parent fell outside it -- the same thing
+        the ring buffer does to a span whose parent was evicted.  *dropped*
+        carries the source tracer's own eviction count forward.
+        """
+        id_map: Dict[int, int] = {}
+        for span in spans:
+            new_id = next(self._ids)
+            id_map[span.span_id] = new_id
+            span.span_id = new_id
+            if span.parent_id is not None:
+                span.parent_id = id_map.get(span.parent_id)
+            if len(self._finished) == self._finished.maxlen:
+                self._dropped += 1
+            self._finished.append(span)
+        self._dropped += dropped
+
     # -- reads -----------------------------------------------------------------
     def spans(self) -> List[Span]:
         """Finished spans, oldest first (within the retained window)."""
