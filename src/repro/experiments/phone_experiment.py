@@ -9,7 +9,9 @@ Activities and 218 Services)."
 
 Like the wear study, execution is sharded per package through
 :mod:`repro.farm` -- one fresh Nexus 6 per shard -- and ``workers=N`` fans
-the shards out over a process pool with bit-identical merged results.
+the shards out across supervised worker processes with bit-identical
+merged results (see :mod:`repro.farm.supervisor` for the deadline / retry
+/ poison-quarantine semantics).
 """
 
 from __future__ import annotations
@@ -22,11 +24,15 @@ from repro.analysis.manifest import StudyCollector
 from repro.apps.catalog import Corpus, build_phone_corpus
 from repro.experiments.config import QUICK, ExperimentConfig
 from repro.farm import (
+    DEFAULT_POLICY,
+    ShardPoisonedError,
+    StudyHealthReport,
+    SupervisionPolicy,
     absorb_telemetry,
     merge_collectors,
     merge_summaries,
     plan_shards,
-    run_shards,
+    supervise_shards,
 )
 from repro.qgj.campaigns import Campaign
 from repro.qgj.results import FuzzSummary
@@ -41,6 +47,8 @@ class PhoneStudyResult:
     phone: PhoneDevice
     config: ExperimentConfig
     shard_clock_ms: Tuple[float, ...] = ()
+    #: Per-shard supervision account (attempts, outcomes, dropped coverage).
+    health: Optional[StudyHealthReport] = None
 
     @property
     def intents_sent(self) -> int:
@@ -52,10 +60,27 @@ def run_phone_study(
     packages: Optional[Sequence[str]] = None,
     campaigns: Sequence[Campaign] = tuple(Campaign),
     workers: int = 1,
+    shard_timeout: Optional[float] = None,
+    max_shard_attempts: Optional[int] = None,
+    allow_partial: bool = False,
 ) -> PhoneStudyResult:
-    """Run the four campaigns against the ``com.android.*`` population."""
+    """Run the four campaigns against the ``com.android.*`` population.
+
+    The supervision knobs mirror
+    :func:`~repro.experiments.wear_experiment.run_wear_study`: per-shard
+    deadline, bounded retries, and -- with *allow_partial* -- poison
+    quarantine with a degraded study instead of an aborted one.
+    """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    policy = SupervisionPolicy(
+        max_attempts=(
+            max_shard_attempts
+            if max_shard_attempts is not None
+            else DEFAULT_POLICY.max_attempts
+        ),
+        shard_timeout_s=shard_timeout,
+    )
     corpus = build_phone_corpus(seed=config.phone_seed)
     if packages is None:
         packages = [app.package.package for app in corpus.apps]
@@ -68,11 +93,17 @@ def run_phone_study(
         base_plan=plane.plan if plane.armed else None,
         telemetry_enabled=telemetry.enabled(),
     )
-    results = run_shards(
+    run = supervise_shards(
         specs,
         workers=workers,
-        telemetry_handle=telemetry.get() if workers == 1 else None,
+        policy=policy,
+        telemetry_handle=telemetry.get(),
     )
+    if run.health.poisoned() and not allow_partial:
+        raise ShardPoisonedError(run.health)
+    results = [result for result in run.results if result is not None]
+    if not results:
+        raise ShardPoisonedError(run.health)
     if workers != 1:
         absorb_telemetry(telemetry.get(), results)
     return PhoneStudyResult(
@@ -82,4 +113,5 @@ def run_phone_study(
         phone=results[-1].phone,
         config=config,
         shard_clock_ms=tuple(result.clock_ms for result in results),
+        health=run.health,
     )

@@ -20,6 +20,7 @@ from repro.experiments.config import ExperimentConfig, by_name
 from repro.experiments.phone_experiment import PhoneStudyResult, run_phone_study
 from repro.experiments.ui_experiment import UiStudyResult, run_ui_study
 from repro.experiments.wear_experiment import WearStudyResult, run_wear_study
+from repro.farm.health import ShardPoisonedError, StudyInterrupted
 from repro.faults.errors import CampaignKilled
 from repro.faults.plan import FaultPlan
 
@@ -63,16 +64,25 @@ def ui_study(config: ExperimentConfig) -> UiStudyResult:
     return run_ui_study(config)
 
 
-def full_report(config_name: str = "quick", workers: int = 1) -> str:
+def full_report(
+    config_name: str = "quick", workers: int = 1, healths=None, **study_kwargs
+) -> str:
     """Every table and figure of the paper, regenerated, as one report.
 
     The report is byte-identical at every *workers* count: the farm merges
     shard outputs back into the exact artifacts the serial run produces.
+    Extra keyword arguments (supervision knobs) pass through to the wear and
+    phone studies; *healths*, when given, is a list the studies' farm health
+    reports are appended to so the CLI can surface retries and poisoned
+    shards on stderr.
     """
-    study_kwargs = {"workers": workers} if workers != 1 else {}
+    if workers != 1:
+        study_kwargs["workers"] = workers
     wear = wear_study(config_name, **study_kwargs)
     phone = phone_study(config_name, **study_kwargs)
     ui = ui_study(config_name)
+    if healths is not None:
+        healths.extend(h for h in (wear.health, phone.health) if h is not None)
 
     sections = [
         f"== Reproduced results ({config_name} scale) ==",
@@ -107,17 +117,22 @@ def full_report(config_name: str = "quick", workers: int = 1) -> str:
 
 
 def export_json(
-    config_name: str = "quick", path: Optional[str] = None, workers: int = 1
+    config_name: str = "quick",
+    path: Optional[str] = None,
+    workers: int = 1,
+    healths=None,
+    **study_kwargs,
 ) -> str:
     """The full study as machine-readable JSON (see analysis.export)."""
     from repro.analysis.export import assert_json_safe, dump_json, export_results
 
-    study_kwargs = {"workers": workers} if workers != 1 else {}
-    results = export_results(
-        wear_study(config_name, **study_kwargs),
-        phone_study(config_name, **study_kwargs),
-        ui_study(config_name),
-    )
+    if workers != 1:
+        study_kwargs["workers"] = workers
+    wear = wear_study(config_name, **study_kwargs)
+    phone = phone_study(config_name, **study_kwargs)
+    if healths is not None:
+        healths.extend(h for h in (wear.health, phone.health) if h is not None)
+    results = export_results(wear, phone, ui_study(config_name))
     assert_json_safe(results)
     return dump_json(results, path=path)
 
@@ -126,6 +141,8 @@ USAGE = """\
 usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
                        [--workers N] [--fault-seed N]
                        [--journal FILE | --resume FILE] [--kill-after N]
+                       [--shard-timeout S] [--max-shard-attempts N]
+                       [--allow-partial]
 
 Runs the three reproduced studies (wear, phone, QGJ-UI) and prints every
 table and figure of the paper's evaluation.
@@ -135,17 +152,35 @@ options:
   --json FILE      write the machine-readable study export instead
   --telemetry DIR  enable campaign telemetry and export metrics.prom,
                    trace.jsonl and summary.txt under DIR
-  --workers N      shard the wear/phone studies across N worker processes
-                   (default: 1; the merged report is identical at any N)
+  --workers N      shard the wear/phone studies across N supervised worker
+                   processes (default: 1; the merged report is identical at
+                   any N, even across worker crashes and retries)
   --fault-seed N   arm the chaos plane: inject seeded environment faults
                    (adb drops, binder failures, lmkd kills, log truncation)
   --journal FILE   checkpoint the wear study to FILE after every
                    (package, campaign) segment; prints the study summary
   --resume FILE    resume a journalled wear study; reproduces the summary
                    the uninterrupted run would have produced
-  --kill-after N   simulate the host dying after N injections (exit 3,
-                   resumable from the journal; needs --workers 1)
-  -h, --help       show this message\
+  --kill-after N   simulate the host dying after N injections study-wide
+                   (exit 3, resumable from the journal; at --workers N > 1
+                   the counter is shared across all workers)
+  --shard-timeout S
+                   per-shard wall-clock deadline in seconds at --workers
+                   N > 1; a worker past it is killed and its shard retried
+  --max-shard-attempts N
+                   attempts per shard before it is quarantined as poison
+                   (default: 2)
+  --allow-partial  complete the study even if shards fail every attempt,
+                   printing a DEGRADED health report and exiting 4 instead
+                   of aborting
+  -h, --help       show this message
+
+exit codes:
+  0    complete report, every shard clean (retries allowed)
+  2    usage error
+  3    campaign killed by --kill-after (resumable via --resume)
+  4    degraded: shards quarantined as poison (coverage dropped)
+  130  interrupted (SIGINT/SIGTERM drain; resumable via --resume)\
 """
 
 
@@ -169,6 +204,13 @@ def _build_parser() -> _ArgumentParser:
     checkpoint.add_argument("--journal", dest="journal_path", metavar="FILE")
     checkpoint.add_argument("--resume", dest="resume_path", metavar="FILE")
     parser.add_argument("--kill-after", dest="kill_after", type=int, metavar="N")
+    parser.add_argument(
+        "--shard-timeout", dest="shard_timeout", type=float, metavar="S"
+    )
+    parser.add_argument(
+        "--max-shard-attempts", dest="max_shard_attempts", type=int, metavar="N"
+    )
+    parser.add_argument("--allow-partial", dest="allow_partial", action="store_true")
     return parser
 
 
@@ -187,6 +229,25 @@ def main(argv=None) -> int:
     if opts.workers < 1:
         print(f"--workers must be >= 1, got {opts.workers}\n{USAGE}", file=sys.stderr)
         return 2
+    if opts.shard_timeout is not None and opts.shard_timeout <= 0:
+        print(
+            f"--shard-timeout must be > 0, got {opts.shard_timeout}\n{USAGE}",
+            file=sys.stderr,
+        )
+        return 2
+    if opts.max_shard_attempts is not None and opts.max_shard_attempts < 1:
+        print(
+            f"--max-shard-attempts must be >= 1, got {opts.max_shard_attempts}\n{USAGE}",
+            file=sys.stderr,
+        )
+        return 2
+    supervision_kwargs = {}
+    if opts.shard_timeout is not None:
+        supervision_kwargs["shard_timeout"] = opts.shard_timeout
+    if opts.max_shard_attempts is not None:
+        supervision_kwargs["max_shard_attempts"] = opts.max_shard_attempts
+    if opts.allow_partial:
+        supervision_kwargs["allow_partial"] = True
     if opts.fault_seed is not None:
         faults.install(FaultPlan.chaos(seed=opts.fault_seed))
     handle: Optional[telemetry.Telemetry] = None
@@ -198,51 +259,88 @@ def main(argv=None) -> int:
         or opts.resume_path is not None
         or opts.kill_after is not None
     )
-    if stateful:
-        path = opts.resume_path if opts.resume_path is not None else opts.journal_path
-        if path is None:
-            print(f"--kill-after needs --journal or --resume\n{USAGE}", file=sys.stderr)
-            return 2
-        if opts.kill_after is not None and opts.workers != 1:
-            print(f"--kill-after requires --workers 1\n{USAGE}", file=sys.stderr)
-            return 2
-        study_kwargs = {"journal_path": path}
-        if opts.resume_path is not None:
-            study_kwargs["resume"] = True
-        if opts.kill_after is not None:
-            study_kwargs["kill_after_injections"] = opts.kill_after
-        if opts.workers != 1:
-            study_kwargs["workers"] = opts.workers
-        try:
+    journal = opts.resume_path if opts.resume_path is not None else opts.journal_path
+    resume_hint = (
+        f"; resume with: python -m repro {config_name} --resume {journal}"
+        if journal is not None
+        else ""
+    )
+    healths = []
+    try:
+        if stateful:
+            if journal is None:
+                print(
+                    f"--kill-after needs --journal or --resume\n{USAGE}",
+                    file=sys.stderr,
+                )
+                return 2
+            study_kwargs = dict(supervision_kwargs)
+            study_kwargs["journal_path"] = journal
+            if opts.resume_path is not None:
+                study_kwargs["resume"] = True
+            if opts.kill_after is not None:
+                study_kwargs["kill_after_injections"] = opts.kill_after
+            if opts.workers != 1:
+                study_kwargs["workers"] = opts.workers
             result = wear_study(config_name, **study_kwargs)
-        except CampaignKilled as exc:
+            if result.health is not None:
+                healths.append(result.health)
+            print(result.summary.render())
             print(
-                f"campaign killed after {exc.injections} injections; resume "
-                f"with: python -m repro {config_name} --resume {path}",
-                file=sys.stderr,
+                f"{result.intents_sent} intents, {result.reboot_count} reboots, "
+                f"{result.virtual_hours():.1f} virtual hours"
             )
-            return 3
-        print(result.summary.render())
-        print(
-            f"{result.intents_sent} intents, {result.reboot_count} reboots, "
-            f"{result.virtual_hours():.1f} virtual hours"
-        )
-    elif opts.json_path is not None:
-        if opts.workers != 1:
-            export_json(config_name, path=opts.json_path, workers=opts.workers)
+        elif opts.json_path is not None:
+            if opts.workers != 1 or supervision_kwargs:
+                export_json(
+                    config_name,
+                    path=opts.json_path,
+                    workers=opts.workers,
+                    healths=healths,
+                    **supervision_kwargs,
+                )
+            else:
+                export_json(config_name, path=opts.json_path)
+            print(f"wrote {opts.json_path}")
+        elif opts.workers != 1 or supervision_kwargs:
+            print(
+                full_report(
+                    config_name,
+                    workers=opts.workers,
+                    healths=healths,
+                    **supervision_kwargs,
+                )
+            )
         else:
-            export_json(config_name, path=opts.json_path)
-        print(f"wrote {opts.json_path}")
-    elif opts.workers != 1:
-        print(full_report(config_name, workers=opts.workers))
-    else:
-        print(full_report(config_name))
+            print(full_report(config_name))
+    except CampaignKilled as exc:
+        print(
+            f"campaign killed after {exc.injections} injections{resume_hint}",
+            file=sys.stderr,
+        )
+        return 3
+    except ShardPoisonedError as exc:
+        print(exc.health.render(), file=sys.stderr)
+        print(str(exc), file=sys.stderr)
+        return 4
+    except StudyInterrupted as exc:
+        print(exc.health.render(), file=sys.stderr)
+        print(f"study interrupted; in-flight shards drained{resume_hint}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print(f"study interrupted{resume_hint}", file=sys.stderr)
+        return 130
     if handle is not None:
         from repro.telemetry.exporters import export_snapshot
 
         written = export_snapshot(opts.telemetry_dir, handle)
         for name, path in sorted(written.items()):
             print(f"wrote {path}")
+    for health in healths:
+        if health.noteworthy:
+            print(health.render(), file=sys.stderr)
+    if any(health.degraded for health in healths):
+        return 4
     return 0
 
 

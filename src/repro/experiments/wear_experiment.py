@@ -15,9 +15,11 @@ Reproduces the paper's main experiment end to end:
 Execution is sharded per package through :mod:`repro.farm`: every package
 runs on its own freshly built device pair with its own scoped fault plane
 and telemetry handle.  ``workers=1`` (the default) runs the shards
-sequentially in-process; ``workers=N`` fans them out over a process pool.
-Because each shard is a pure function of its spec, the merged study is
-bit-identical at any worker count.
+sequentially in-process; ``workers=N`` fans them out across supervised
+worker processes (deadlines, heartbeat liveness, bounded retries, poison
+quarantine -- see :mod:`repro.farm.supervisor`).  Because each shard is a
+pure function of its spec, the merged study is bit-identical at any worker
+count, even when a shard needed a retry to complete.
 """
 
 from __future__ import annotations
@@ -30,12 +32,16 @@ from repro.analysis.manifest import StudyCollector
 from repro.apps.catalog import Corpus, build_wear_corpus
 from repro.experiments.config import QUICK, ExperimentConfig
 from repro.farm import (
+    DEFAULT_POLICY,
+    ShardPoisonedError,
+    StudyHealthReport,
     StudyManifest,
+    SupervisionPolicy,
     absorb_telemetry,
     merge_collectors,
     merge_summaries,
     plan_shards,
-    run_shards,
+    supervise_shards,
 )
 from repro.faults.journal import KillSwitch
 from repro.qgj.campaigns import Campaign
@@ -57,6 +63,9 @@ class WearStudyResult:
     #: study's virtual time is their sum: each clock advance (pacing,
     #: backoff, boot) happens in exactly one shard's segment.
     shard_clock_ms: Tuple[float, ...] = ()
+    #: Per-shard supervision account (attempts, outcomes, dropped coverage).
+    #: ``health.degraded`` marks a partial study that quarantined shards.
+    health: Optional[StudyHealthReport] = None
 
     @property
     def reboot_count(self) -> int:
@@ -80,6 +89,9 @@ def run_wear_study(
     resume: bool = False,
     kill_after_injections: Optional[int] = None,
     workers: int = 1,
+    shard_timeout: Optional[float] = None,
+    max_shard_attempts: Optional[int] = None,
+    allow_partial: bool = False,
 ) -> WearStudyResult:
     """Run the complete wearable fuzzing study.
 
@@ -88,23 +100,34 @@ def run_wear_study(
     later call with ``resume=True`` (same config, fault plan, and worker
     count) picks up each shard at its last completed segment and -- because
     every shard is deterministic on its own virtual clock -- produces the
-    identical final summary.  *kill_after_injections* arms a
-    :class:`~repro.faults.journal.KillSwitch` that raises
-    :class:`~repro.faults.errors.CampaignKilled` mid-campaign, simulating
-    the host dying (used by the resume tests and the CI chaos smoke); it
-    counts injections across the whole study and therefore requires
-    ``workers=1``.
+    identical final summary.  *kill_after_injections* arms a kill switch
+    that raises :class:`~repro.faults.errors.CampaignKilled` mid-campaign,
+    simulating the host dying (used by the resume tests and the CI chaos
+    smoke); at ``workers>1`` the count is shared across worker processes,
+    so "after N injections" means N study-wide at any worker count.
+
+    *shard_timeout* (seconds), *max_shard_attempts*, and *allow_partial*
+    tune the supervised executor at ``workers>1``: a shard that misses its
+    deadline or whose worker dies is retried up to *max_shard_attempts*
+    times (bit-identical by the determinism contract), and a shard failing
+    every attempt either aborts the study
+    (:class:`~repro.farm.health.ShardPoisonedError`) or -- with
+    *allow_partial* -- is quarantined while the study completes degraded,
+    with the dropped coverage itemized in ``result.health``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     kill_switch = (
         KillSwitch(kill_after_injections) if kill_after_injections is not None else None
     )
-    if kill_switch is not None and workers != 1:
-        raise ValueError(
-            "kill_after_injections requires workers=1: one kill switch "
-            "counts injections across the whole sequential study"
-        )
+    policy = SupervisionPolicy(
+        max_attempts=(
+            max_shard_attempts
+            if max_shard_attempts is not None
+            else DEFAULT_POLICY.max_attempts
+        ),
+        shard_timeout_s=shard_timeout,
+    )
     manifest = StudyManifest(journal_path) if journal_path is not None else None
     if resume:
         if manifest is None:
@@ -140,12 +163,18 @@ def run_wear_study(
             workers=workers,
             shards=specs,
         )
-    results = run_shards(
+    run = supervise_shards(
         specs,
         workers=workers,
+        policy=policy,
         kill_switch=kill_switch,
-        telemetry_handle=telemetry.get() if workers == 1 else None,
+        telemetry_handle=telemetry.get(),
     )
+    if run.health.poisoned() and not allow_partial:
+        raise ShardPoisonedError(run.health)
+    results = [result for result in run.results if result is not None]
+    if not results:
+        raise ShardPoisonedError(run.health)
     if workers != 1:
         absorb_telemetry(telemetry.get(), results)
     last = results[-1]
@@ -157,4 +186,5 @@ def run_wear_study(
         phone=last.phone,
         config=config,
         shard_clock_ms=tuple(result.clock_ms for result in results),
+        health=run.health,
     )

@@ -17,11 +17,21 @@ evidence.  This package is that farm for the simulator:
   :class:`ShardResult`;
 * :mod:`repro.farm.pool` -- :func:`run_shards`: ``workers=1`` runs shards
   sequentially in-process (deterministic reference path, live telemetry,
-  kill-switch support); ``workers>1`` fans out over a
-  :mod:`multiprocessing` pool;
+  kill-switch support); ``workers>1`` fans out across worker processes,
+  supervised by default;
+* :mod:`repro.farm.supervisor` -- :func:`supervise_shards`: the supervised
+  executor behind ``workers>1`` -- per-shard deadlines and heartbeat
+  liveness, bounded bit-identical retries (journalled shards resume from
+  their checkpoint), poison quarantine with an explicit
+  :class:`~repro.farm.health.StudyHealthReport`, a shared ``--kill-after``
+  switch, and graceful SIGINT/SIGTERM drain;
+* :mod:`repro.farm.health` -- the supervision vocabulary: attempt/shard
+  outcome records, the health report, the worker heartbeat, and the
+  ``REPRO_FARM_CRASH`` worker-crash injector used to exercise all of it;
 * :mod:`repro.farm.merge` -- collapses shard outputs into the exact
   artifacts the analysis layer consumes (:meth:`FuzzSummary.merge`,
-  :meth:`StudyCollector.merge`, metrics/span absorption);
+  :meth:`StudyCollector.merge`, metrics/span absorption), skipping the
+  holes poisoned shards leave behind;
 * :mod:`repro.farm.journal` -- :class:`StudyManifest`: one manifest over
   per-shard checkpoint journals, validating config / fault plan / worker
   count on resume.
@@ -29,21 +39,49 @@ evidence.  This package is that farm for the simulator:
 **Determinism contract.**  Every shard starts its own virtual clock at
 zero and is seeded from its spec alone, so the merged study is bit-identical
 at any worker count: ``workers=4`` reproduces ``workers=1`` reproduces the
-pre-farm serial tables.
+pre-farm serial tables.  Supervision preserves the contract: a retried
+shard re-runs the same pure function of the same spec, so a study that
+needed three worker crashes' worth of retries still merges byte-identical
+to a clean run.
 """
 
 from __future__ import annotations
 
+from repro.farm.health import (
+    CrashPolicy,
+    ShardFailedError,
+    ShardFailure,
+    ShardPoisonedError,
+    StudyHealthReport,
+    StudyInterrupted,
+    WorkerHeartbeat,
+)
 from repro.farm.journal import StudyManifest
 from repro.farm.merge import absorb_telemetry, merge_collectors, merge_summaries
 from repro.farm.partition import derive_plan, derive_seed, plan_shards, shard_packages
 from repro.farm.pool import run_shards
 from repro.farm.shard import ShardResult, ShardSpec, run_shard
+from repro.farm.supervisor import (
+    DEFAULT_POLICY,
+    SupervisedRun,
+    SupervisionPolicy,
+    supervise_shards,
+)
 
 __all__ = [
+    "CrashPolicy",
+    "DEFAULT_POLICY",
+    "ShardFailedError",
+    "ShardFailure",
+    "ShardPoisonedError",
     "ShardResult",
     "ShardSpec",
+    "StudyHealthReport",
+    "StudyInterrupted",
     "StudyManifest",
+    "SupervisedRun",
+    "SupervisionPolicy",
+    "WorkerHeartbeat",
     "absorb_telemetry",
     "derive_plan",
     "derive_seed",
@@ -53,4 +91,5 @@ __all__ = [
     "run_shard",
     "run_shards",
     "shard_packages",
+    "supervise_shards",
 ]

@@ -9,26 +9,35 @@ histogram buckets add elementwise, and spans are re-based onto the live
 tracer's id sequence.  Everything merges in shard (spec) order, so the
 merged study reads exactly like the serial run that visited the packages in
 the same order.
+
+A supervised run may hand over ``None`` in place of a poisoned shard
+(``--allow-partial``); every merge helper skips those holes, and the
+accompanying :class:`~repro.farm.health.StudyHealthReport` itemizes the
+coverage they dropped.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.manifest import StudyCollector
 from repro.farm.shard import ShardResult
 from repro.qgj.results import FuzzSummary
 
 
-def merge_summaries(results: Sequence[ShardResult]) -> FuzzSummary:
-    return FuzzSummary.merge([result.summary for result in results])
+def _present(results: Sequence[Optional[ShardResult]]) -> List[ShardResult]:
+    return [result for result in results if result is not None]
 
 
-def merge_collectors(results: Sequence[ShardResult]) -> StudyCollector:
-    return StudyCollector.merge([result.collector for result in results])
+def merge_summaries(results: Sequence[Optional[ShardResult]]) -> FuzzSummary:
+    return FuzzSummary.merge([result.summary for result in _present(results)])
 
 
-def absorb_telemetry(handle, results: Sequence[ShardResult]) -> None:
+def merge_collectors(results: Sequence[Optional[ShardResult]]) -> StudyCollector:
+    return StudyCollector.merge([result.collector for result in _present(results)])
+
+
+def absorb_telemetry(handle, results: Sequence[Optional[ShardResult]]) -> None:
     """Fold worker-local telemetry into *handle*, in shard order.
 
     In-process shards carry no telemetry payload (they recorded straight
@@ -37,7 +46,7 @@ def absorb_telemetry(handle, results: Sequence[ShardResult]) -> None:
     """
     if handle is None or not handle.enabled:
         return
-    for result in results:
+    for result in _present(results):
         if result.metrics is not None:
             handle.metrics.merge_from(result.metrics)
         if result.spans or result.spans_dropped:

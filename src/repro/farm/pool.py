@@ -1,33 +1,60 @@
-"""Shard execution: sequential in-process, or a multiprocessing pool.
+"""Shard execution facade: sequential, supervised, or the legacy bare pool.
 
 ``workers=1`` is the deterministic reference path: shards run one after
 another in this process, against the live telemetry handle (so heartbeats
-stream and ``dumpsys telemetry`` works mid-run) and an optional shared
-kill-switch that counts injections across the whole study.  ``workers>1``
-fans the same specs out over a ``multiprocessing`` pool; each worker builds
-everything from its picklable spec, so the merged study is bit-identical to
-the sequential one -- the pool only changes wall-clock, never results.
+stream and ``dumpsys telemetry`` works mid-run) and an optional kill-switch
+that counts injections across the whole study.  ``workers>1`` fans the same
+specs out across worker processes; each worker builds everything from its
+picklable spec, so the merged study is bit-identical to the sequential one
+-- parallelism only changes wall-clock, never results.
+
+By default ``workers>1`` runs under the :mod:`repro.farm.supervisor`
+executor (deadlines, heartbeat liveness, bounded retries, poison
+quarantine, shared kill switch, graceful drain).  ``supervised=False``
+keeps the original bare ``Pool.map`` for comparison; even that path now
+wraps per-shard failures so a dead worker names *which* package's shard it
+lost instead of discarding every completed shard behind an opaque
+``MaybeEncodingError``.
 
 ``fork`` is preferred where available (Linux): workers inherit the loaded
 modules instead of re-importing the world, and shard specs stay cheap to
-ship.  ``Pool.map`` preserves spec order, which the merge layer relies on
-for shard-ordered concatenation.
+ship.  Both paths preserve spec order, which the merge layer relies on for
+shard-ordered concatenation.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import traceback
 from typing import List, Optional, Sequence
 
-from repro.faults.journal import KillSwitch
+from repro.farm.health import ShardFailedError, ShardFailure, ShardPoisonedError
 from repro.farm.shard import ShardResult, ShardSpec, run_shard
+from repro.farm.supervisor import SupervisionPolicy, mp_context, supervise_shards
+from repro.faults.journal import KillSwitch
 
 
 def _pool_context():
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+    return mp_context()
+
+
+def _run_shard_guarded(spec: ShardSpec):
+    """Legacy-pool wrapper: turn a worker exception into a typed result.
+
+    A bare ``Pool.map`` surfaces a worker exception by re-raising it in the
+    parent *after* discarding every other shard's result.  Shipping the
+    failure as a value instead lets the parent keep the completed shards
+    and report exactly which spec died.
+    """
+    try:
+        return run_shard(spec)
+    except BaseException:
+        return ShardFailure(
+            index=spec.index,
+            key=spec.key,
+            attempt=1,
+            kind="exception",
+            detail=traceback.format_exc(),
+        )
 
 
 def run_shards(
@@ -35,8 +62,17 @@ def run_shards(
     workers: int = 1,
     kill_switch: Optional[KillSwitch] = None,
     telemetry_handle=None,
+    policy: Optional[SupervisionPolicy] = None,
+    supervised: bool = True,
 ) -> List[ShardResult]:
-    """Run every shard and return results in spec order."""
+    """Run every shard and return results in spec order.
+
+    Raises :class:`ShardPoisonedError` (supervised path) when any shard
+    exhausts its attempts, or :class:`ShardFailedError` (legacy path) when
+    a worker raised -- both name the shards they lost.  Use
+    :func:`repro.farm.supervisor.supervise_shards` directly to get partial
+    results plus the health report instead of an exception.
+    """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     specs = list(specs)
@@ -45,13 +81,29 @@ def run_shards(
             run_shard(spec, kill_switch=kill_switch, telemetry_handle=telemetry_handle)
             for spec in specs
         ]
-    if kill_switch is not None:
-        raise ValueError(
-            "kill_after_injections requires workers=1: one kill switch "
-            "counts injections across the whole sequential study"
-        )
     if not specs:
         return []
+    if supervised:
+        run = supervise_shards(
+            specs,
+            workers=workers,
+            policy=policy,
+            kill_switch=kill_switch,
+            telemetry_handle=telemetry_handle,
+        )
+        if run.health.poisoned():
+            raise ShardPoisonedError(run.health)
+        return [result for result in run.results if result is not None]
+    if kill_switch is not None:
+        raise ValueError(
+            "the legacy pool cannot share a kill switch across workers; "
+            "use the supervised executor (supervised=True)"
+        )
     processes = min(workers, len(specs))
     with _pool_context().Pool(processes=processes) as pool:
-        return pool.map(run_shard, specs)
+        outputs = pool.map(_run_shard_guarded, specs)
+    failures = [out for out in outputs if isinstance(out, ShardFailure)]
+    if failures:
+        completed = [out for out in outputs if not isinstance(out, ShardFailure)]
+        raise ShardFailedError(failures, completed=completed)
+    return outputs

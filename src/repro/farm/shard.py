@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 from repro.analysis.manifest import StudyCollector
 from repro.android.runtime import RuntimeContext
 from repro.apps.catalog import build_phone_corpus, build_wear_corpus
+from repro.farm.health import CrashPolicy, WorkerHeartbeat, crash_for
 from repro.faults.journal import CheckpointJournal, KillSwitch
 from repro.faults.plan import FaultPlan
 from repro.faults.plane import NOOP_PLANE, FaultPlane
@@ -79,6 +80,9 @@ class ShardSpec:
     heartbeat_every: int = DEFAULT_EVERY_INJECTIONS
     journal_path: Optional[str] = None  # per-shard checkpoint journal
     resume: bool = False
+    #: Worker-crash injection (see :class:`repro.farm.health.CrashPolicy`);
+    #: ``None`` also consults the ``REPRO_FARM_CRASH`` environment hook.
+    crash: Optional[CrashPolicy] = None
 
 
 @dataclasses.dataclass
@@ -128,18 +132,27 @@ def run_shard(
     spec: ShardSpec,
     kill_switch: Optional[KillSwitch] = None,
     telemetry_handle: Optional[Telemetry] = None,
+    heartbeat: Optional[WorkerHeartbeat] = None,
+    attempt: int = 1,
 ) -> ShardResult:
     """Run one shard end to end.
 
     *telemetry_handle* is passed by the in-process (``workers=1``) path so
     counters, spans and heartbeats land directly on the live handle; worker
     processes leave it ``None`` and get a shard-local handle whose registry
-    and spans ride home on the :class:`ShardResult`.  *kill_switch* is only
-    meaningful in-process, where one switch counts injections across the
-    whole sequential study.
+    and spans ride home on the :class:`ShardResult`.  *kill_switch* counts
+    injections across the whole study: a plain
+    :class:`~repro.faults.journal.KillSwitch` in-process, a
+    :class:`~repro.faults.journal.SharedKillSwitch` under the supervised
+    farm.  *heartbeat* and *attempt* are supervision plumbing: the worker
+    beats the shared liveness beacon at shard start and every segment
+    boundary, and the attempt number drives the deterministic worker-crash
+    injector (spec- or env-triggered; see :mod:`repro.farm.health`).
     """
     owns_handle = telemetry_handle is None
     handle = _fresh_handle(spec) if owns_handle else telemetry_handle
+    if heartbeat is not None:
+        heartbeat.beat()
     # Bind explicitly even when no plan is armed: a forked worker inherits
     # the parent's module globals, and the fallback would leak the study
     # plane's (unsharded) schedule into the shard.
@@ -150,9 +163,9 @@ def run_shard(
     )
     runtime = RuntimeContext(fault_plane=plane, telemetry_handle=handle)
     if spec.study == "wear":
-        result = _run_wear_shard(spec, handle, plane, runtime, kill_switch)
+        result = _run_wear_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt)
     elif spec.study == "phone":
-        result = _run_phone_shard(spec, handle, plane, runtime, kill_switch)
+        result = _run_phone_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt)
     else:
         raise ValueError(f"unknown shard study kind: {spec.study!r}")
     if owns_handle and handle.enabled:
@@ -172,8 +185,21 @@ def _load_shard_state(journal: CheckpointJournal):
     return state
 
 
-def _run_wear_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
+def _crash_policy(spec: ShardSpec) -> Optional[CrashPolicy]:
+    """The shard's crash injection, spec field first, then the env hook."""
+    if spec.crash is not None:
+        return spec.crash
+    return crash_for(spec.key)
+
+
+def _beat(heartbeat: Optional[WorkerHeartbeat]) -> None:
+    if heartbeat is not None:
+        heartbeat.beat()
+
+
+def _run_wear_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt) -> ShardResult:
     config = spec.config
+    crash = _crash_policy(spec)
     journal = (
         CheckpointJournal(spec.journal_path) if spec.journal_path is not None else None
     )
@@ -244,6 +270,7 @@ def _run_wear_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
     if handle.enabled:
         # The shard's virtual time is its watch's clock from here on.
         handle.set_clock(watch.clock)
+    _beat(heartbeat)
     with contextlib.ExitStack() as stack:
         if handle.enabled:
             stack.enter_context(
@@ -257,6 +284,8 @@ def _run_wear_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
             )
         for index in range(start_index, len(segments)):
             package_name, campaign = segments[index]
+            if crash is not None and crash.triggers(attempt, index):
+                crash.fire(spec.key, attempt, index)
             app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
             summary.apps.append(app_result)
             log_text = _adb_call(
@@ -289,6 +318,7 @@ def _run_wear_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
                         "plane": plane.capture(watch.clock),
                     }
                 )
+            _beat(heartbeat)
     return ShardResult(
         index=spec.index,
         key=spec.key,
@@ -300,8 +330,9 @@ def _run_wear_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
     )
 
 
-def _run_phone_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
+def _run_phone_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt) -> ShardResult:
     config = spec.config
+    crash = _crash_policy(spec)
     if spec.journal_path is not None:
         raise ValueError("the phone study does not support checkpoint journals")
     corpus = build_phone_corpus(seed=config.phone_seed)
@@ -321,6 +352,7 @@ def _run_phone_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
     _adb_call(adb.logcat_clear, device.clock, plane, handle, key=("clear", -1))
     if handle.enabled:
         handle.set_clock(device.clock)
+    _beat(heartbeat)
     segments = [(p, c) for p in spec.packages for c in spec.campaigns]
     with contextlib.ExitStack() as stack:
         if handle.enabled:
@@ -334,6 +366,8 @@ def _run_phone_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
                 )
             )
         for index, (package_name, campaign) in enumerate(segments):
+            if crash is not None and crash.triggers(attempt, index):
+                crash.fire(spec.key, attempt, index)
             app_result = fuzzer.fuzz_app(package_name, campaign, config.fuzz)
             summary.apps.append(app_result)
             log_text = _adb_call(
@@ -343,6 +377,7 @@ def _run_phone_shard(spec, handle, plane, runtime, kill_switch) -> ShardResult:
             _adb_call(
                 adb.logcat_clear, device.clock, plane, handle, key=("clear", index)
             )
+            _beat(heartbeat)
     return ShardResult(
         index=spec.index,
         key=spec.key,

@@ -43,7 +43,7 @@ from repro.faults.errors import (
     CampaignKilled,
     InfrastructureError,
 )
-from repro.faults.journal import CheckpointJournal, KillSwitch
+from repro.faults.journal import CheckpointJournal, KillSwitch, SharedKillSwitch
 from repro.faults.plan import (
     CHAOS_INTERVALS_MS,
     FaultEvent,
@@ -70,6 +70,7 @@ __all__ = [
     "PlanExecution",
     "QuarantineEvent",
     "RetryPolicy",
+    "SharedKillSwitch",
     "TRANSIENT_ERRORS",
     "enabled",
     "fingerprint",

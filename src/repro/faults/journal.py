@@ -55,6 +55,50 @@ class KillSwitch:
             raise CampaignKilled(self.count)
 
 
+class SharedKillSwitch:
+    """A :class:`KillSwitch` whose counter is shared across worker processes.
+
+    ``--kill-after N`` means "the host dies after N injections *study-wide*",
+    not per worker -- so the supervised farm backs the counter with a
+    ``multiprocessing.Value`` and every worker ticks the same cell.  The
+    first tick to reach the limit raises :class:`CampaignKilled` at exactly
+    ``limit``; workers racing past it raise with whatever count their tick
+    observed (always ``>= limit``), so the supervisor reports the minimum.
+
+    Construct it in the supervising process with
+    :meth:`SharedKillSwitch.create`, then rebuild per worker from the raw
+    shared counter (``multiprocessing`` can ship a ``Value`` only as a
+    direct ``Process`` argument, not inside an arbitrary pickle).
+    """
+
+    def __init__(self, limit: int, counter) -> None:
+        if limit < 1:
+            raise ValueError(f"kill limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._counter = counter
+
+    @classmethod
+    def create(cls, limit: int, ctx) -> "SharedKillSwitch":
+        """A fresh shared counter under *ctx* (a multiprocessing context)."""
+        return cls(limit, ctx.Value("q", 0))
+
+    @property
+    def counter(self):
+        """The raw shared cell, for passing to a worker ``Process``."""
+        return self._counter
+
+    @property
+    def count(self) -> int:
+        return self._counter.value
+
+    def tick(self) -> None:
+        with self._counter.get_lock():
+            self._counter.value += 1
+            count = self._counter.value
+        if count >= self.limit:
+            raise CampaignKilled(count)
+
+
 class CheckpointJournal:
     """One campaign's append-only journal and snapshot pair."""
 

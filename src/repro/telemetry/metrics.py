@@ -39,6 +39,8 @@ RETRIES = "qgj_transport_retries_total"
 RETRY_BACKOFF = "qgj_retry_backoff_ms"
 TRANSPORT_FAILURES = "qgj_transport_failures_total"
 QUARANTINED = "qgj_quarantined_packages_total"
+SHARD_RETRIES = "shard_retries_total"
+SHARDS_POISONED = "shards_poisoned"
 
 #: Default histogram buckets, in virtual milliseconds, spanning the
 #: simulator's time constants (pacing .. ANR window .. stall cap .. boot).

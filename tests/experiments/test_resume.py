@@ -85,6 +85,29 @@ class TestKillAndResume:
         with pytest.raises(ValueError, match="journal_path"):
             run_wear_study(QUICK, resume=True)
 
+    def test_kill_after_works_at_two_workers(self, tmp_path):
+        # The satellite fix: one shared kill switch counts injections
+        # study-wide across worker processes, so --kill-after no longer
+        # requires --workers 1.  The killed parallel run resumes (at the
+        # same worker count) to the uninterrupted summary.
+        packages = [PKG, "com.runmate.wear"]
+        campaigns = (Campaign.A, Campaign.B)
+        base = run_wear_study(QUICK, packages=packages, campaigns=campaigns, workers=2)
+        journal = str(tmp_path / "run.jsonl")
+        with pytest.raises(CampaignKilled) as exc_info:
+            run_wear_study(
+                QUICK,
+                packages=packages,
+                campaigns=campaigns,
+                journal_path=journal,
+                kill_after_injections=800,
+                workers=2,
+            )
+        assert exc_info.value.injections >= 800
+        resumed = run_wear_study(QUICK, journal_path=journal, resume=True, workers=2)
+        assert _wire(resumed) == _wire(base)
+        assert resumed.collector.reboots == base.collector.reboots
+
     def test_resume_rejects_a_different_config(self, tmp_path):
         journal = str(tmp_path / "run.jsonl")
         with pytest.raises(CampaignKilled):

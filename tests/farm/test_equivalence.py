@@ -95,6 +95,39 @@ class TestWorkerCountEquivalence:
         assert _fingerprint(fanned) == _fingerprint(serial)
 
 
+class TestCrashedWorkerEquivalence:
+    """A retried shard merges byte-identical to a clean run.
+
+    Supervision's half of the determinism contract: re-running the same
+    pure function of the same spec after a worker death produces the same
+    shard result, so the merged study cannot tell a crash happened -- only
+    the health report can.
+    """
+
+    def test_crash_injected_first_attempt_merges_identically(self, monkeypatch):
+        clean = run_wear_study(QUICK, packages=PACKAGES, campaigns=CAMPAIGNS)
+        monkeypatch.setenv("REPRO_FARM_CRASH", "com.pulsetrack.wear=raise@1")
+        crashed = run_wear_study(
+            QUICK, packages=PACKAGES, campaigns=CAMPAIGNS, workers=2
+        )
+        assert _fingerprint(crashed) == _fingerprint(clean)
+        assert crashed.health is not None
+        assert crashed.health.retries_total == 1
+        assert not crashed.health.degraded
+        row = next(s for s in crashed.health.shards if s.key == "com.pulsetrack.wear")
+        assert [attempt.outcome for attempt in row.attempts] == ["exception", "ok"]
+
+    def test_hard_exit_crash_merges_identically(self, monkeypatch):
+        clean = run_wear_study(QUICK, packages=PACKAGES, campaigns=CAMPAIGNS)
+        monkeypatch.setenv("REPRO_FARM_CRASH", "com.runmate.wear=exit@0")
+        crashed = run_wear_study(
+            QUICK, packages=PACKAGES, campaigns=CAMPAIGNS, workers=2
+        )
+        assert _fingerprint(crashed) == _fingerprint(clean)
+        row = next(s for s in crashed.health.shards if s.key == "com.runmate.wear")
+        assert [attempt.outcome for attempt in row.attempts] == ["crash", "ok"]
+
+
 class TestTelemetryEquivalence:
     def test_worker_local_telemetry_merges_to_the_in_process_totals(self):
         with telemetry.session() as t:
