@@ -7,12 +7,14 @@ that determine how long a paper-scale (~2M intent) run takes.
 """
 
 import json
+import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
 import pytest
 
-from repro import telemetry
 from repro.analysis.logparse import parse_events
 from repro.analysis.manifest import StudyCollector
 from repro.apps.catalog import build_wear_corpus
@@ -55,43 +57,35 @@ def test_injection_throughput(benchmark, installed_watch):
     assert result.sent == 141
 
 
-def test_telemetry_overhead(installed_watch):
+def test_telemetry_overhead():
     """Measure injection throughput with telemetry off vs on.
 
-    Writes ``BENCH_telemetry.json`` at the repo root so the overhead of the
-    observability plane is tracked alongside the figure/table benches.  The
-    disabled path must stay within a few percent of the uninstrumented
-    baseline -- that is the zero-overhead-by-default contract.
+    Delegates to ``benchmarks/telemetry_overhead.py`` (see its docstring
+    for the full methodology) and runs it in a *fresh subprocess*: the
+    overhead ratio is cache-sensitive, and dragging this test process's
+    accumulated heap through the TLB inflates it well past what a real
+    campaign process pays.  Writes ``BENCH_telemetry.json`` at the repo
+    root so the overhead of the observability plane is tracked alongside
+    the figure/table benches.
     """
-    corpus, watch = installed_watch
-    fuzzer = FuzzerLibrary(watch)
-    info = watch.packages.get_package("com.runmate.wear").activities()[1]
-    config = FuzzConfig(max_intents_per_component=141)
-    rounds = 20
+    script = Path(__file__).resolve().parent / "telemetry_overhead.py"
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
 
-    def measure():
-        start = time.perf_counter()
-        sent = 0
-        for _ in range(rounds):
-            sent += fuzzer.fuzz_component(info, Campaign.B, config).sent
-        return sent / (time.perf_counter() - start)
-
-    measure()  # warm caches before timing either variant
-    off_rate = measure()
-    with telemetry.session():
-        on_rate = measure()
-
-    payload = {
-        "bench": "telemetry_overhead",
-        "intents_per_round": 141,
-        "rounds": rounds,
-        "intents_per_sec_telemetry_off": round(off_rate, 1),
-        "intents_per_sec_telemetry_on": round(on_rate, 1),
-        "overhead_ratio": round(off_rate / on_rate, 3),
-    }
     out = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
-    assert off_rate > 0 and on_rate > 0
+    assert payload["intents_per_sec_telemetry_off"] > 0
+    assert payload["intents_per_sec_telemetry_on"] > 0
 
 
 def test_log_parsing_throughput(benchmark, installed_watch):

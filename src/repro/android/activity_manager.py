@@ -55,9 +55,25 @@ from repro.android.process import (
     ProcessTable,
 )
 from repro.telemetry.metrics import AM_DISPATCHES, ANR_LATENCY
+from repro.telemetry.record import CounterSite, HistogramSite
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.android.device import Device
+
+#: Dispatch counting sits on the path of every injected intent; the site
+#: resolves each entry point to a bound handle once per telemetry session.
+_DISPATCH_SITE = CounterSite(
+    AM_DISPATCHES,
+    "Intent dispatches through ActivityManagerService, by entry point.",
+    ("entry",),
+)
+
+_ANR_SITE = HistogramSite(
+    ANR_LATENCY,
+    "Main-thread blockage (virtual ms) measured when the ANR"
+    " watchdog fired.",
+    ("package",),
+)
 
 
 class SystemHealthHooks(Protocol):
@@ -117,6 +133,15 @@ class ActivityManager:
         self._dispatch_depth = 0
         #: The activity currently holding window focus (for UI events).
         self.foreground: Optional[ComponentInfo] = None
+        # Bound dispatch-counter handles, cached per registry identity
+        # (same discipline as Logcat): binding per dispatch would put an
+        # intern + dict build on every injection.  The two injection-path
+        # entries get dedicated lazily-bound slots so counting them is a
+        # pointer compare and a slot store, with no call and no dict hit.
+        self._dispatch_registry = None
+        self._dispatch_handles: Dict[str, object] = {}
+        self._h_start_activity = None
+        self._h_start_service = None
 
     # -- wiring -----------------------------------------------------------------
     def register_factory(self, behavior_key: str, factory: ComponentFactory) -> None:
@@ -126,15 +151,34 @@ class ActivityManager:
     def add_health_hooks(self, hooks: SystemHealthHooks) -> None:
         self._health_hooks.append(hooks)
 
-    def _count_dispatch(self, entry: str) -> None:
+    def _invalidate_dispatch_handles(self, metrics) -> None:
+        """A different registry is live: drop every cached dispatch handle.
+
+        Both the generic ``_dispatch_handles`` map and the dedicated
+        injection-path slots key off ``_dispatch_registry``, so they must
+        be invalidated together.  Handles stay lazily bound: a series only
+        appears in exports once its entry point actually dispatches.
+        """
+        self._dispatch_handles = {}
+        self._h_start_activity = None
+        self._h_start_service = None
+        self._dispatch_registry = metrics
+
+    def _count_dispatch(self, entry: str, t=None) -> None:
         self.dispatch_count += 1
-        t = self._device.runtime.telemetry
+        if t is None:
+            t = self._device.runtime.telemetry
         if t.enabled:
-            t.metrics.counter(
-                AM_DISPATCHES,
-                "Intent dispatches through ActivityManagerService, by entry point.",
-                ("entry",),
-            ).labels(entry=entry).inc()
+            metrics = t.metrics
+            if metrics is not self._dispatch_registry:
+                self._invalidate_dispatch_handles(metrics)
+            handle = self._dispatch_handles.get(entry)
+            if handle is None:
+                handle = _DISPATCH_SITE.bind(metrics, (entry,))
+                self._dispatch_handles[entry] = handle
+            # Direct slot store: this is BoundCounter.inc(1) with the call
+            # overhead shaved off the per-injection path.
+            handle.pending += 1
 
     def _transport_fault_check(self) -> None:
         """Fire a due binder transport fault on an *outermost* dispatch.
@@ -152,8 +196,30 @@ class ActivityManager:
     # -- public API -----------------------------------------------------------------
     def start_activity(self, caller_package: str, intent: Intent) -> DispatchResult:
         """``Context.startActivity``: resolve, check, deliver, contain."""
+        t = self._device.runtime.telemetry
+        profiler = t.profiler
+        if profiler.enabled:
+            profiler.enter("am")
+            try:
+                return self._start_activity(caller_package, intent, t)
+            finally:
+                profiler.exit()
+        return self._start_activity(caller_package, intent, t)
+
+    def _start_activity(self, caller_package: str, intent: Intent, t) -> DispatchResult:
         self._transport_fault_check()
-        self._count_dispatch("start_activity")
+        # Inlined _count_dispatch("start_activity"): this runs once per
+        # injected activity intent, so the count is a pointer compare and a
+        # slot store on a dedicated handle, with no call and no dict hit.
+        self.dispatch_count += 1
+        if t.enabled:
+            if t.metrics is not self._dispatch_registry:
+                self._invalidate_dispatch_handles(t.metrics)
+            handle = self._h_start_activity
+            if handle is None:
+                handle = _DISPATCH_SITE.bind(t.metrics, ("start_activity",))
+                self._h_start_activity = handle
+            handle.pending += 1
         info = self._resolve_activity(intent)
         if info is None:
             raise ActivityNotFoundException(
@@ -176,8 +242,30 @@ class ActivityManager:
         simulator introspection used by the fuzzer's in-flight counters
         (the authoritative classification still comes from logcat).
         """
+        t = self._device.runtime.telemetry
+        profiler = t.profiler
+        if profiler.enabled:
+            profiler.enter("am")
+            try:
+                return self._start_service_with_result(caller_package, intent, t)
+            finally:
+                profiler.exit()
+        return self._start_service_with_result(caller_package, intent, t)
+
+    def _start_service_with_result(
+        self, caller_package: str, intent: Intent, t
+    ) -> Tuple[Optional[ComponentName], DispatchResult]:
         self._transport_fault_check()
-        self._count_dispatch("start_service")
+        # Inlined _count_dispatch("start_service"); see _start_activity.
+        self.dispatch_count += 1
+        if t.enabled:
+            if t.metrics is not self._dispatch_registry:
+                self._invalidate_dispatch_handles(t.metrics)
+            handle = self._h_start_service
+            if handle is None:
+                handle = _DISPATCH_SITE.bind(t.metrics, ("start_service",))
+                self._h_start_service = handle
+            handle.pending += 1
         info = self._resolve_service(intent)
         if info is None:
             # Matching the framework: unknown service logs and returns null.
@@ -272,6 +360,17 @@ class ActivityManager:
     def reset_runtime_state(self) -> None:
         """Drop live component instances (used across reboots)."""
         self._live.clear()
+
+    def __getstate__(self) -> dict:
+        # Telemetry never survives a pickle (same contract as Logcat and
+        # RuntimeContext): cached bound handles would smuggle the live
+        # registry into checkpoint snapshots.  They re-resolve on use.
+        state = self.__dict__.copy()
+        state["_dispatch_registry"] = None
+        state["_dispatch_handles"] = {}
+        state["_h_start_activity"] = None
+        state["_h_start_service"] = None
+        return state
 
     # -- resolution ---------------------------------------------------------------
     def _resolve_activity(self, intent: Intent) -> Optional[ComponentInfo]:
@@ -473,12 +572,7 @@ class ActivityManager:
             proc.record_anr(task.description, cost)
             t = self._device.runtime.telemetry
             if t.enabled:
-                t.metrics.histogram(
-                    ANR_LATENCY,
-                    "Main-thread blockage (virtual ms) measured when the ANR"
-                    " watchdog fired.",
-                    ("package",),
-                ).labels(package=info.package).observe(cost)
+                _ANR_SITE.bind(t.metrics, (info.package,)).observe(cost)
             # The blocked main thread stalls the process for the whole window.
             proc.clock.sleep(min(cost, 4 * self.anr_timeout_ms))
             for hooks in self._health_hooks:

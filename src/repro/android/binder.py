@@ -16,6 +16,15 @@ from typing import Any, Callable, Dict, Optional
 from repro.android.jtypes import DeadObjectException, IllegalArgumentException, Throwable
 from repro.android.process import ProcessRecord
 from repro.telemetry.metrics import BINDER_TRANSACTIONS
+from repro.telemetry.record import CounterSite
+
+#: One site shared by every binder handle; series are bound per
+#: (descriptor, outcome) pair on first use.
+_TRANSACTIONS_SITE = CounterSite(
+    BINDER_TRANSACTIONS,
+    "Binder transactions, by interface descriptor and outcome.",
+    ("descriptor", "outcome"),
+)
 
 
 class IBinder:
@@ -25,15 +34,31 @@ class IBinder:
         self.descriptor = descriptor
         self._owner = owner_process
         self._handlers: Dict[str, Callable[..., Any]] = {}
+        # Bound transaction-counter handles, cached per registry identity
+        # (same discipline as Logcat and ActivityManager).
+        self._bound_registry = None
+        self._transaction_handles: Dict[str, object] = {}
 
     def _count_transaction(self, outcome: str) -> None:
         t = self._owner.runtime.telemetry
         if t.enabled:
-            t.metrics.counter(
-                BINDER_TRANSACTIONS,
-                "Binder transactions, by interface descriptor and outcome.",
-                ("descriptor", "outcome"),
-            ).labels(descriptor=self.descriptor, outcome=outcome).inc()
+            metrics = t.metrics
+            if metrics is not self._bound_registry:
+                self._transaction_handles = {}
+                self._bound_registry = metrics
+            handle = self._transaction_handles.get(outcome)
+            if handle is None:
+                handle = _TRANSACTIONS_SITE.bind(metrics, (self.descriptor, outcome))
+                self._transaction_handles[outcome] = handle
+            handle.pending += 1
+
+    def __getstate__(self) -> dict:
+        # Telemetry never survives a pickle: cached bound handles would
+        # smuggle the live registry into checkpoint snapshots.
+        state = self.__dict__.copy()
+        state["_bound_registry"] = None
+        state["_transaction_handles"] = {}
+        return state
 
     @property
     def owner(self) -> ProcessRecord:
@@ -48,6 +73,16 @@ class IBinder:
 
     def transact(self, code: str, *args: Any, **kwargs: Any) -> Any:
         """Perform a transaction; raises on dead owner or unknown code."""
+        profiler = self._owner.runtime.telemetry.profiler
+        if profiler.enabled:
+            profiler.enter("binder")
+            try:
+                return self._transact(code, *args, **kwargs)
+            finally:
+                profiler.exit()
+        return self._transact(code, *args, **kwargs)
+
+    def _transact(self, code: str, *args: Any, **kwargs: Any) -> Any:
         plane = self._owner.runtime.faults
         if plane.armed:
             # A due transport fault fails the transaction before it reaches

@@ -27,6 +27,18 @@ from repro.android.clock import Clock
 from repro.android.jtypes import NativeSignal, Throwable
 from repro.android.runtime import RuntimeContext
 from repro.telemetry.metrics import LOGCAT_BUFFERED, LOGCAT_DROPPED, LOGCAT_WRITTEN
+from repro.telemetry.record import CounterSite, GaugeSite
+
+#: Logcat is written on every dispatch, denial, and crash block -- the
+#: second-hottest instrumented path after injection counting.  Sites keep
+#: each write to a few batched handle operations.
+_WRITTEN_SITE = CounterSite(LOGCAT_WRITTEN, "Log records appended to logcat.")
+_DROPPED_SITE = CounterSite(
+    LOGCAT_DROPPED, "Log records evicted by the logcat ring buffer."
+)
+_BUFFERED_SITE = GaugeSite(
+    LOGCAT_BUFFERED, "Log records currently held in the logcat ring buffer."
+)
 
 
 class Level(enum.Enum):
@@ -113,12 +125,24 @@ class Logcat:
         self.runtime = runtime if runtime is not None else RuntimeContext()
         self._records: Deque[LogRecord] = deque(maxlen=capacity)
         self._dropped = 0
+        # Bound telemetry handles, re-resolved when the registry changes
+        # identity (a new session or a shard-local handle); write() is on
+        # the path of every simulated log line, so the steady-state cost
+        # must stay at one pointer comparison.
+        self._bound_registry = None
+        self._written_handle = None
+        self._buffered_handle = None
 
     # -- raw writes ---------------------------------------------------------------
     def write(self, level: Level, tag: str, message: str, pid: int = 0, tid: Optional[int] = None) -> None:
         """Append one record per line of *message*."""
         if tid is None:
             tid = pid
+        t = self.runtime.telemetry
+        profiler = t.profiler
+        prof_on = profiler.enabled
+        if prof_on:
+            profiler.enter("logcat")
         maxlen = self._records.maxlen
         written = 0
         dropped_now = 0
@@ -139,17 +163,22 @@ class Logcat:
             )
             written += 1
         self._dropped += dropped_now
-        t = self.runtime.telemetry
         if t.enabled:
             metrics = t.metrics
-            metrics.counter(LOGCAT_WRITTEN, "Log records appended to logcat.").inc(written)
+            if metrics is not self._bound_registry:
+                self._written_handle = _WRITTEN_SITE.bind(metrics)
+                self._buffered_handle = _BUFFERED_SITE.bind(metrics)
+                self._bound_registry = metrics
+            # Direct slot stores -- BoundCounter.inc / BoundGauge.set with
+            # the call overhead shaved off the per-log-line path.
+            self._written_handle.pending += written
             if dropped_now:
-                metrics.counter(
-                    LOGCAT_DROPPED, "Log records evicted by the logcat ring buffer."
-                ).inc(dropped_now)
-            metrics.gauge(
-                LOGCAT_BUFFERED, "Log records currently held in the logcat ring buffer."
-            ).set(len(self._records))
+                _DROPPED_SITE.bind(metrics).inc(dropped_now)
+            buffered = self._buffered_handle
+            buffered.value = len(self._records)
+            buffered.dirty = True
+        if prof_on:
+            profiler.exit()
 
     def v(self, tag: str, message: str, pid: int = 0) -> None:
         self.write(Level.VERBOSE, tag, message, pid)
@@ -244,12 +273,18 @@ class Logcat:
         self._dropped += count
         t = self.runtime.telemetry
         if t.enabled and count:
-            t.metrics.counter(
-                LOGCAT_DROPPED, "Log records evicted by the logcat ring buffer."
-            ).inc(count)
-            t.metrics.gauge(
-                LOGCAT_BUFFERED, "Log records currently held in the logcat ring buffer."
-            ).set(len(self._records))
+            _DROPPED_SITE.bind(t.metrics).inc(count)
+            _BUFFERED_SITE.bind(t.metrics).set(len(self._records))
+
+    def __getstate__(self) -> dict:
+        # Telemetry never survives a pickle (same contract as
+        # RuntimeContext): bound handles would smuggle registry children
+        # into checkpoint snapshots.  They re-resolve on first write.
+        state = self.__dict__.copy()
+        state["_bound_registry"] = None
+        state["_written_handle"] = None
+        state["_buffered_handle"] = None
+        return state
 
     def clear(self) -> None:
         self._records.clear()

@@ -35,6 +35,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.faults.plane import FaultPlane
     from repro.telemetry import Telemetry
 
+# The process-wide getters, resolved lazily (importing repro.faults or
+# repro.telemetry at module scope would be circular) and then cached: the
+# unbound fallback runs on every hook site of an unscoped device tree, and
+# a per-call ``from repro import ...`` costs more than the hook itself.
+_faults_get = None
+_telemetry_get = None
+
+
+def _resolve_getters() -> None:
+    global _faults_get, _telemetry_get
+    from repro import faults, telemetry
+
+    _faults_get = faults.get
+    _telemetry_get = telemetry.get
+
 
 class RuntimeContext:
     """Scoped (or process-global-falling-back) fault/telemetry handles."""
@@ -49,18 +64,18 @@ class RuntimeContext:
         """The fault plane this device tree answers to."""
         if self._fault_plane is not None:
             return self._fault_plane
-        from repro import faults
-
-        return faults.get()
+        if _faults_get is None:
+            _resolve_getters()
+        return _faults_get()
 
     @property
     def telemetry(self):
         """The telemetry handle this device tree reports to."""
         if self._telemetry is not None:
             return self._telemetry
-        from repro import telemetry
-
-        return telemetry.get()
+        if _telemetry_get is None:
+            _resolve_getters()
+        return _telemetry_get()
 
     # -- binding -----------------------------------------------------------------
     def bind_faults(self, plane: Optional["FaultPlane"]) -> None:

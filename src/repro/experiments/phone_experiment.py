@@ -85,13 +85,17 @@ def run_phone_study(
     if packages is None:
         packages = [app.package.package for app in corpus.apps]
     plane = faults.get()
+    live = telemetry.get()
     specs = plan_shards(
         "phone",
         config,
         packages,
         campaigns,
         base_plan=plane.plan if plane.armed else None,
-        telemetry_enabled=telemetry.enabled(),
+        telemetry_enabled=live.enabled,
+        sample_every=live.tracer.sample_every,
+        sample_seed=live.tracer.sample_seed,
+        profile=live.profiler.enabled,
     )
     run = supervise_shards(
         specs,

@@ -139,6 +139,7 @@ def export_json(
 
 USAGE = """\
 usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
+                       [--telemetry-sample N] [--profile]
                        [--workers N] [--fault-seed N]
                        [--journal FILE | --resume FILE] [--kill-after N]
                        [--shard-timeout S] [--max-shard-attempts N]
@@ -152,6 +153,12 @@ options:
   --json FILE      write the machine-readable study export instead
   --telemetry DIR  enable campaign telemetry and export metrics.prom,
                    trace.jsonl and summary.txt under DIR
+  --telemetry-sample N
+                   retain 1-in-N spans per span name (deterministic, seeded;
+                   default 1 = keep everything; requires --telemetry)
+  --profile        arm the telemetry self-profiler: adds a SELF-PROFILE
+                   section to summary.txt and writes a flamegraph-ready
+                   profile.collapsed under DIR (requires --telemetry)
   --workers N      shard the wear/phone studies across N supervised worker
                    processes (default: 1; the merged report is identical at
                    any N, even across worker crashes and retries)
@@ -198,6 +205,10 @@ def _build_parser() -> _ArgumentParser:
     parser.add_argument("config", nargs="?", default="quick")
     parser.add_argument("--json", dest="json_path", metavar="FILE")
     parser.add_argument("--telemetry", dest="telemetry_dir", metavar="DIR")
+    parser.add_argument(
+        "--telemetry-sample", dest="telemetry_sample", type=int, default=1, metavar="N"
+    )
+    parser.add_argument("--profile", dest="profile", action="store_true")
     parser.add_argument("--workers", type=int, default=1, metavar="N")
     parser.add_argument("--fault-seed", dest="fault_seed", type=int, metavar="N")
     checkpoint = parser.add_mutually_exclusive_group()
@@ -250,9 +261,21 @@ def main(argv=None) -> int:
         supervision_kwargs["allow_partial"] = True
     if opts.fault_seed is not None:
         faults.install(FaultPlan.chaos(seed=opts.fault_seed))
+    if opts.telemetry_sample < 1:
+        print(
+            f"--telemetry-sample must be >= 1, got {opts.telemetry_sample}\n{USAGE}",
+            file=sys.stderr,
+        )
+        return 2
+    if opts.telemetry_dir is None and (opts.telemetry_sample != 1 or opts.profile):
+        flag = "--telemetry-sample" if opts.telemetry_sample != 1 else "--profile"
+        print(f"{flag} requires --telemetry DIR\n{USAGE}", file=sys.stderr)
+        return 2
     handle: Optional[telemetry.Telemetry] = None
     if opts.telemetry_dir is not None:
-        handle = telemetry.enable()
+        handle = telemetry.enable(
+            sample_every=opts.telemetry_sample, profile=opts.profile
+        )
         handle.progress.add_listener(lambda snap: print(snap.render(), file=sys.stderr))
     stateful = (
         opts.journal_path is not None
@@ -267,75 +290,79 @@ def main(argv=None) -> int:
     )
     healths = []
     try:
-        if stateful:
-            if journal is None:
+        try:
+            if stateful:
+                if journal is None:
+                    print(
+                        f"--kill-after needs --journal or --resume\n{USAGE}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                study_kwargs = dict(supervision_kwargs)
+                study_kwargs["journal_path"] = journal
+                if opts.resume_path is not None:
+                    study_kwargs["resume"] = True
+                if opts.kill_after is not None:
+                    study_kwargs["kill_after_injections"] = opts.kill_after
+                if opts.workers != 1:
+                    study_kwargs["workers"] = opts.workers
+                result = wear_study(config_name, **study_kwargs)
+                if result.health is not None:
+                    healths.append(result.health)
+                print(result.summary.render())
                 print(
-                    f"--kill-after needs --journal or --resume\n{USAGE}",
-                    file=sys.stderr,
+                    f"{result.intents_sent} intents, {result.reboot_count} reboots, "
+                    f"{result.virtual_hours():.1f} virtual hours"
                 )
-                return 2
-            study_kwargs = dict(supervision_kwargs)
-            study_kwargs["journal_path"] = journal
-            if opts.resume_path is not None:
-                study_kwargs["resume"] = True
-            if opts.kill_after is not None:
-                study_kwargs["kill_after_injections"] = opts.kill_after
-            if opts.workers != 1:
-                study_kwargs["workers"] = opts.workers
-            result = wear_study(config_name, **study_kwargs)
-            if result.health is not None:
-                healths.append(result.health)
-            print(result.summary.render())
-            print(
-                f"{result.intents_sent} intents, {result.reboot_count} reboots, "
-                f"{result.virtual_hours():.1f} virtual hours"
-            )
-        elif opts.json_path is not None:
-            if opts.workers != 1 or supervision_kwargs:
-                export_json(
-                    config_name,
-                    path=opts.json_path,
-                    workers=opts.workers,
-                    healths=healths,
-                    **supervision_kwargs,
+            elif opts.json_path is not None:
+                if opts.workers != 1 or supervision_kwargs:
+                    export_json(
+                        config_name,
+                        path=opts.json_path,
+                        workers=opts.workers,
+                        healths=healths,
+                        **supervision_kwargs,
+                    )
+                else:
+                    export_json(config_name, path=opts.json_path)
+                print(f"wrote {opts.json_path}")
+            elif opts.workers != 1 or supervision_kwargs:
+                print(
+                    full_report(
+                        config_name,
+                        workers=opts.workers,
+                        healths=healths,
+                        **supervision_kwargs,
+                    )
                 )
             else:
-                export_json(config_name, path=opts.json_path)
-            print(f"wrote {opts.json_path}")
-        elif opts.workers != 1 or supervision_kwargs:
+                print(full_report(config_name))
+        except CampaignKilled as exc:
             print(
-                full_report(
-                    config_name,
-                    workers=opts.workers,
-                    healths=healths,
-                    **supervision_kwargs,
-                )
+                f"campaign killed after {exc.injections} injections{resume_hint}",
+                file=sys.stderr,
             )
-        else:
-            print(full_report(config_name))
-    except CampaignKilled as exc:
-        print(
-            f"campaign killed after {exc.injections} injections{resume_hint}",
-            file=sys.stderr,
-        )
-        return 3
-    except ShardPoisonedError as exc:
-        print(exc.health.render(), file=sys.stderr)
-        print(str(exc), file=sys.stderr)
-        return 4
-    except StudyInterrupted as exc:
-        print(exc.health.render(), file=sys.stderr)
-        print(f"study interrupted; in-flight shards drained{resume_hint}", file=sys.stderr)
-        return 130
-    except KeyboardInterrupt:
-        print(f"study interrupted{resume_hint}", file=sys.stderr)
-        return 130
-    if handle is not None:
-        from repro.telemetry.exporters import export_snapshot
+            return 3
+        except ShardPoisonedError as exc:
+            print(exc.health.render(), file=sys.stderr)
+            print(str(exc), file=sys.stderr)
+            return 4
+        except StudyInterrupted as exc:
+            print(exc.health.render(), file=sys.stderr)
+            print(f"study interrupted; in-flight shards drained{resume_hint}", file=sys.stderr)
+            return 130
+        except KeyboardInterrupt:
+            print(f"study interrupted{resume_hint}", file=sys.stderr)
+            return 130
+        if handle is not None:
+            from repro.telemetry.exporters import export_snapshot
 
-        written = export_snapshot(opts.telemetry_dir, handle)
-        for name, path in sorted(written.items()):
-            print(f"wrote {path}")
+            written = export_snapshot(opts.telemetry_dir, handle)
+            for name, path in sorted(written.items()):
+                print(f"wrote {path}")
+    finally:
+        if handle is not None:
+            telemetry.disable()
     for health in healths:
         if health.noteworthy:
             print(health.render(), file=sys.stderr)

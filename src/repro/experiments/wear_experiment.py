@@ -144,15 +144,19 @@ def run_wear_study(
     if packages is None:
         packages = [app.package.package for app in corpus.apps]
     plane = faults.get()
+    live = telemetry.get()
     specs = plan_shards(
         "wear",
         config,
         packages,
         campaigns,
         base_plan=plane.plan if plane.armed else None,
-        telemetry_enabled=telemetry.enabled(),
+        telemetry_enabled=live.enabled,
         manifest=manifest,
         resume=resume,
+        sample_every=live.tracer.sample_every,
+        sample_seed=live.tracer.sample_seed,
+        profile=live.profiler.enabled,
     )
     if manifest is not None and not resume:
         manifest.start(

@@ -65,13 +65,18 @@ def plan_shards(
     telemetry_enabled: bool = False,
     manifest=None,
     resume: bool = False,
+    sample_every: int = 1,
+    sample_seed: int = 0,
+    profile: bool = False,
 ) -> List[ShardSpec]:
     """Build the full shard plan for one study.
 
     An empty *packages* still yields one (empty) shard, so a degenerate
     study produces devices and an empty summary exactly as the serial
     harness did.  *manifest* (a :class:`~repro.farm.journal.StudyManifest`)
-    assigns each shard its per-shard journal path.
+    assigns each shard its per-shard journal path.  *sample_every* /
+    *sample_seed* / *profile* mirror the live telemetry handle so worker
+    shards instrument identically to an in-process run.
     """
     groups = shard_packages(packages) or [("", ())]
     specs: List[ShardSpec] = []
@@ -88,6 +93,9 @@ def plan_shards(
                 seed=seed,
                 plan=derive_plan(base_plan, seed),
                 telemetry_enabled=telemetry_enabled,
+                sample_every=sample_every,
+                sample_seed=sample_seed,
+                profile=profile,
                 journal_path=(
                     manifest.shard_journal_path(index) if manifest is not None else None
                 ),

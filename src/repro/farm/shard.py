@@ -39,10 +39,12 @@ from repro.qgj.results import FuzzSummary
 from repro.telemetry import (
     DEFAULT_SPAN_CAPACITY,
     NOOP_HEARTBEAT,
+    NOOP_PROFILER,
     NOOP_REGISTRY,
     NOOP_TRACER,
     Heartbeat,
     MetricsRegistry,
+    PhaseProfiler,
     Span,
     Telemetry,
     Tracer,
@@ -78,6 +80,13 @@ class ShardSpec:
     telemetry_enabled: bool = False     # worker shards build a local handle
     span_capacity: int = DEFAULT_SPAN_CAPACITY
     heartbeat_every: int = DEFAULT_EVERY_INJECTIONS
+    #: Span sampling (1 = keep everything) and the seed its phase offsets
+    #: derive from; copied from the live tracer so worker-local tracers
+    #: sample identically to an in-process run.
+    sample_every: int = 1
+    sample_seed: int = 0
+    #: Arm a worker-local PhaseProfiler whose snapshot ships home.
+    profile: bool = False
     journal_path: Optional[str] = None  # per-shard checkpoint journal
     resume: bool = False
     #: Worker-crash injection (see :class:`repro.farm.health.CrashPolicy`);
@@ -101,6 +110,9 @@ class ShardResult:
     metrics: Optional[MetricsRegistry] = None
     spans: List[Span] = dataclasses.field(default_factory=list)
     spans_dropped: int = 0
+    spans_sampled_out: int = 0
+    #: The worker-local profiler's snapshot (``None`` unless profiling).
+    profile: Optional[dict] = None
 
 
 def _fresh_handle(spec: ShardSpec) -> Telemetry:
@@ -116,8 +128,13 @@ def _fresh_handle(spec: ShardSpec) -> Telemetry:
     return Telemetry(
         True,
         registry,
-        Tracer(capacity=spec.span_capacity),
+        Tracer(
+            capacity=spec.span_capacity,
+            sample_every=spec.sample_every,
+            sample_seed=spec.sample_seed,
+        ),
         Heartbeat(registry, every_injections=spec.heartbeat_every),
+        profiler=PhaseProfiler() if spec.profile else NOOP_PROFILER,
     )
 
 
@@ -151,6 +168,10 @@ def run_shard(
     """
     owns_handle = telemetry_handle is None
     handle = _fresh_handle(spec) if owns_handle else telemetry_handle
+    # Both paths reset the sampling phase here: every shard samples from a
+    # fresh count whether it runs in-process or on a worker-local tracer,
+    # which is what keeps the merged trace identical at any worker count.
+    handle.tracer.begin_shard()
     if heartbeat is not None:
         heartbeat.beat()
     # Bind explicitly even when no plan is armed: a forked worker inherits
@@ -169,9 +190,13 @@ def run_shard(
     else:
         raise ValueError(f"unknown shard study kind: {spec.study!r}")
     if owns_handle and handle.enabled:
+        handle.flush()  # drain batched handles before the registry pickles
         result.metrics = handle.metrics
         result.spans = handle.tracer.spans()
         result.spans_dropped = handle.tracer.dropped
+        result.spans_sampled_out = handle.tracer.sampled_out
+        if handle.profiler.enabled:
+            result.profile = handle.profiler.snapshot()
     return result
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import time
 from typing import Iterable, List, Optional, Sequence
 
 from repro.android.component import ComponentInfo, ComponentKind
@@ -34,6 +35,7 @@ from repro.faults.retry import RetryPolicy
 from repro.qgj.campaigns import Campaign, FuzzIntent, generate
 from repro.qgj.results import AppRunResult, ComponentRunResult, FuzzSummary
 from repro.telemetry.metrics import INTENTS_INJECTED
+from repro.telemetry.record import CounterSite
 
 #: Package identity under which QGJ injects (unprivileged, as in the paper).
 QGJ_WEAR_PACKAGE = "com.qgj.wear"
@@ -84,6 +86,43 @@ class FuzzConfig:
         return self.stride
 
 
+#: The fuzzer's one hot-path metric, declared once next to the loop that
+#: records it.  Binding (per component × outcome) is the cold half; the per
+#: injection cost is one batched ``handle.inc()``.
+_INTENTS_SITE = CounterSite(
+    INTENTS_INJECTED,
+    "Intents injected by the QGJ fuzzer, by final outcome.",
+    ("campaign", "package", "outcome"),
+)
+
+#: Attribute keys of the inline leaf-ring entry (see
+#: ``_fuzz_component_instrumented``): one shared tuple instead of a fresh
+#: two-key dict per injection.  Order matters -- materialized spans must
+#: carry ``{"seq": ..., "outcome": ...}`` exactly as ``record_leaf`` would.
+_LEAF_KEYS = ("seq", "outcome")
+
+
+def _profiled_generation(iterable, profiler):
+    """Charge the time spent *pulling* from a generator to ``generate``.
+
+    Campaign intents come from a lazy generator, so their construction cost
+    hides inside the for-loop header; this wrapper brackets each ``next()``
+    so the self-profiler attributes it correctly.
+    """
+    it = iter(iterable)
+    enter = profiler.enter
+    leave = profiler.exit
+    while True:
+        enter("generate")
+        try:
+            item = next(it)
+        except StopIteration:
+            return
+        finally:
+            leave()
+        yield item
+
+
 #: Quick scale: every component still sees every action and every corruption
 #: class, volumes shrink ~3.5x (A shrinks 12x; B and D run in full).
 QUICK_CONFIG = FuzzConfig(
@@ -132,48 +171,273 @@ class FuzzerLibrary:
             kind=info.kind,
             campaign=campaign,
         )
+        t = self._device.runtime.telemetry
+        if not t.enabled:
+            self._fuzz_component_plain(info, campaign, config, result)
+        elif t.profiler.enabled:
+            self._fuzz_component_profiled(info, campaign, config, result, t)
+        else:
+            self._fuzz_component_instrumented(info, campaign, config, result, t)
+        return result
+
+    def _fuzz_component_plain(
+        self,
+        info: ComponentInfo,
+        campaign: Campaign,
+        config: FuzzConfig,
+        result: ComponentRunResult,
+    ) -> None:
+        """The uninstrumented loop: telemetry off pays nothing here."""
         clock = self._device.clock
         boots_before = self._device.boot_count
-        t = self._device.runtime.telemetry
-        with contextlib.ExitStack() as stack:
-            if t.enabled:
-                stack.enter_context(
-                    t.tracer.span(
-                        "component",
-                        clock=clock,
-                        component=result.component,
-                        kind=info.kind.value,
-                        campaign=campaign.value,
-                    )
-                )
-                intents = t.metrics.counter(
-                    INTENTS_INJECTED,
-                    "Intents injected by the QGJ fuzzer, by final outcome.",
-                    ("campaign", "package", "outcome"),
-                )
-            for fuzz_intent in generate(
+        max_intents = config.max_intents_per_component
+        for fuzz_intent in generate(
+            campaign,
+            seed=config.seed,
+            component=info.name,
+            stride=config.stride_for(campaign),
+        ):
+            if max_intents is not None and result.sent >= max_intents:
+                break
+            self._inject(info, fuzz_intent, result)
+            if self.kill_switch is not None:
+                self.kill_switch.tick()
+            clock.sleep(config.intent_delay_ms)
+            if result.sent % config.batch_size == 0:
+                clock.sleep(config.batch_delay_ms)
+            if self._device.boot_count != boots_before:
+                result.rebooted = True
+                result.aborted = True
+                break
+            if result.quarantined:
+                break
+
+    def _fuzz_component_instrumented(
+        self,
+        info: ComponentInfo,
+        campaign: Campaign,
+        config: FuzzConfig,
+        result: ComponentRunResult,
+        t,
+    ) -> None:
+        """The instrumented loop: handles bound up front, recording inlined.
+
+        Everything resolvable is hoisted out of the loop -- the metric
+        family (registered up front so the series' TYPE/HELP lines appear
+        even for a component that sends nothing), the per-outcome bound
+        handles, the tracer's leaf-ring state -- and the recording itself
+        is written *inline*: at ~100k injections/s a single Python method
+        call costs more than the record it would make.  This loop is the
+        one blessed inline client of the tracer's leaf ring; the compact
+        tuple it appends must materialize exactly what
+        :meth:`Tracer.record_leaf` would have recorded, and
+        ``tests/telemetry/test_trace.py`` asserts the two paths produce
+        identical spans so they cannot drift apart.  When sampling is on,
+        the loop simply calls :meth:`Tracer.record_leaf` (the sampled-out
+        common case returns before any of the inlined work would happen).
+
+        Heartbeat ticks and ring-eviction drops are not counted per
+        injection at all: both are settled from the ``sent`` delta -- the
+        heartbeat at each pacing batch boundary (and loop exit), so
+        progress snapshots trail by at most one batch, and the tracer's
+        dropped count once at loop exit (every inline append past capacity
+        evicted exactly one record).
+        """
+        device = self._device
+        clock = device.clock
+        boots_before = device.boot_count
+        # An unbounded run compares against +inf so the loop needs no
+        # None-check per iteration.
+        max_intents = config.max_intents_per_component
+        if max_intents is None:
+            max_intents = float("inf")
+        tracer = t.tracer
+        metrics = t.metrics
+        perf_counter = time.perf_counter
+        _INTENTS_SITE.family(metrics)
+        handles: dict = {}
+        campaign_value = campaign.value
+        package = info.package
+        heartbeat = t.progress
+        heartbeat.count_injections(0)  # pin the rate baseline to campaign start
+        sampling = tracer.sample_every != 1
+        record_leaf = tracer.record_leaf
+        finished = tracer._finished
+        ring_capacity = finished.maxlen
+        finished_append = finished.append
+        next_id = tracer._ids.__next__
+        inject = self._inject
+        kill_switch = self.kill_switch
+        sleep = clock.sleep
+        intent_delay_ms = config.intent_delay_ms
+        batch_delay_ms = config.batch_delay_ms
+        batch_size = config.batch_size
+        intent_stream = generate(
+            campaign,
+            seed=config.seed,
+            component=info.name,
+            stride=config.stride_for(campaign),
+        )
+        with tracer.span(
+            "component",
+            clock=clock,
+            component=result.component,
+            kind=info.kind.value,
+            campaign=campaign_value,
+        ):
+            # The open-span stack cannot change inside the loop (leaf spans
+            # never push), so the injection spans' parent is a constant.
+            stack = tracer._stack
+            parent_id = stack[-1].span_id if stack else None
+            # result.sent is mirrored in a local so the loop reads it once
+            # per iteration instead of three attribute loads.  Its deltas
+            # also stand in for per-iteration tick counters: _inject
+            # increments it exactly once per call.
+            sent = result.sent
+            sent_start = sent
+            hb_mark = sent
+            ring_len_start = len(finished)
+            try:
+                for fuzz_intent in intent_stream:
+                    if sent >= max_intents:
+                        break
+                    start_wall = perf_counter()
+                    start_virtual = clock._now_ms
+                    outcome = inject(info, fuzz_intent, result)
+                    end_wall = perf_counter()
+                    sent = result.sent
+                    if sampling:
+                        record_leaf(
+                            "injection",
+                            {"seq": sent, "outcome": outcome},
+                            start_wall,
+                            end_wall,
+                            start_virtual,
+                            clock._now_ms,
+                        )
+                    else:
+                        # Inline Tracer.record_leaf (see docstring): one
+                        # flat ring entry, attribute values trailing the
+                        # shared key tuple.  Eviction is the deque's own
+                        # maxlen drop; the dropped *count* is settled once
+                        # in the finally below, not per record.
+                        finished_append(
+                            (
+                                next_id(),
+                                parent_id,
+                                "injection",
+                                _LEAF_KEYS,
+                                start_wall,
+                                end_wall,
+                                start_virtual,
+                                clock._now_ms,
+                                sent,
+                                outcome,
+                            )
+                        )
+                    # Direct slot store: BoundCounter.inc(1) without the
+                    # call.  A handful of outcomes over thousands of
+                    # injections makes try/except cheaper than .get().
+                    try:
+                        handles[outcome].pending += 1
+                    except KeyError:
+                        handles[outcome] = handle = _INTENTS_SITE.bind(
+                            metrics, (campaign_value, package, outcome)
+                        )
+                        handle.pending += 1
+                    if kill_switch is not None:
+                        kill_switch.tick()
+                    sleep(intent_delay_ms)
+                    if sent % batch_size == 0:
+                        sleep(batch_delay_ms)
+                        heartbeat.count_injections(sent - hb_mark)
+                        hb_mark = sent
+                    if device.boot_count != boots_before:
+                        result.rebooted = True
+                        result.aborted = True
+                        break
+                    if result.quarantined:
+                        break
+            finally:
+                if sent != hb_mark:
+                    heartbeat.count_injections(sent - hb_mark)
+                if not sampling:
+                    # One inline append per injection: whatever the loop
+                    # pushed past capacity evicted that many records.
+                    overflow = ring_len_start + (sent - sent_start) - ring_capacity
+                    if overflow > 0:
+                        tracer._dropped += overflow
+
+    def _fuzz_component_profiled(
+        self,
+        info: ComponentInfo,
+        campaign: Campaign,
+        config: FuzzConfig,
+        result: ComponentRunResult,
+        t,
+    ) -> None:
+        """The self-profiled loop: like the instrumented one, plus phase
+        brackets around intent generation and dispatch.
+
+        Kept as its own variant so the common instrumented path carries no
+        profiler conditionals; profiling is explicitly a diagnostic mode
+        that trades some throughput for attribution.
+        """
+        clock = self._device.clock
+        boots_before = self._device.boot_count
+        max_intents = config.max_intents_per_component
+        tracer = t.tracer
+        metrics = t.metrics
+        profiler = t.profiler
+        record_leaf = tracer.record_leaf
+        perf_counter = time.perf_counter
+        now_ms = clock.now_ms
+        count_injection = t.progress.count_injection
+        _INTENTS_SITE.family(metrics)
+        handles: dict = {}
+        campaign_value = campaign.value
+        package = info.package
+        intent_stream = _profiled_generation(
+            generate(
                 campaign,
                 seed=config.seed,
                 component=info.name,
                 stride=config.stride_for(campaign),
-            ):
-                if (
-                    config.max_intents_per_component is not None
-                    and result.sent >= config.max_intents_per_component
-                ):
+            ),
+            profiler,
+        )
+        with tracer.span(
+            "component",
+            clock=clock,
+            component=result.component,
+            kind=info.kind.value,
+            campaign=campaign_value,
+        ):
+            for fuzz_intent in intent_stream:
+                if max_intents is not None and result.sent >= max_intents:
                     break
-                if t.enabled:
-                    with t.tracer.span(
-                        "injection", clock=clock, seq=result.sent + 1
-                    ) as span:
-                        outcome = self._inject(info, fuzz_intent, result)
-                        span.set_attribute("outcome", outcome)
-                    intents.labels(
-                        campaign=campaign.value, package=info.package, outcome=outcome
-                    ).inc()
-                    t.progress.count_injection()
-                else:
-                    self._inject(info, fuzz_intent, result)
+                start_wall = perf_counter()
+                start_virtual = now_ms()
+                profiler.enter("dispatch")
+                try:
+                    outcome = self._inject(info, fuzz_intent, result)
+                finally:
+                    profiler.exit()
+                record_leaf(
+                    "injection",
+                    {"seq": result.sent, "outcome": outcome},
+                    start_wall,
+                    perf_counter(),
+                    start_virtual,
+                    now_ms(),
+                )
+                handle = handles.get(outcome)
+                if handle is None:
+                    handles[outcome] = handle = _INTENTS_SITE.bind(
+                        metrics, (campaign_value, package, outcome)
+                    )
+                handle.pending += 1
+                count_injection()
                 if self.kill_switch is not None:
                     self.kill_switch.tick()
                 clock.sleep(config.intent_delay_ms)
@@ -185,7 +449,6 @@ class FuzzerLibrary:
                     break
                 if result.quarantined:
                     break
-        return result
 
     def _inject(
         self, info: ComponentInfo, fuzz_intent: FuzzIntent, result: ComponentRunResult

@@ -175,11 +175,17 @@ class QGJUi:
         result = UiInjectionResult(mode=mode)
         log_mark = len(logcat)
         t = self._device.runtime.telemetry
+        profiler = t.profiler
         with contextlib.ExitStack() as stack:
             if t.enabled:
                 stack.enter_context(
                     t.tracer.span("ui_replay", clock=self._device.clock, mode=mode)
                 )
+            if profiler.enabled:
+                # One phase for the whole replay: mutation + shell lowering
+                # is "ui" self-time; dispatch and logging nest beneath it.
+                profiler.enter("ui")
+                stack.callback(profiler.exit)
             plane = self._device.runtime.faults
             retry = RetryPolicy()
             for event in events:

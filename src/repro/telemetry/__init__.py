@@ -37,8 +37,9 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
-from repro.telemetry import exporters, metrics, progress, trace
+from repro.telemetry import exporters, metrics, profiler, progress, record, trace
 from repro.telemetry.metrics import NOOP_REGISTRY, MetricsRegistry, NoopRegistry
+from repro.telemetry.profiler import NOOP_PROFILER, NoopProfiler, PhaseProfiler
 from repro.telemetry.progress import NOOP_HEARTBEAT, Heartbeat, NoopHeartbeat, Snapshot
 from repro.telemetry.trace import DEFAULT_SPAN_CAPACITY, NOOP_TRACER, NoopTracer, Span, Tracer
 
@@ -51,24 +52,43 @@ __all__ = [
     "session",
     "exporters",
     "metrics",
+    "profiler",
     "progress",
+    "record",
     "trace",
 ]
 
 
 class Telemetry:
-    """The process-wide telemetry handle: registry + tracer + heartbeat."""
+    """The process-wide telemetry handle: registry + tracer + heartbeat.
 
-    def __init__(self, enabled: bool, metrics_registry, tracer, heartbeat) -> None:
+    A :class:`~repro.telemetry.profiler.PhaseProfiler` rides along when
+    self-profiling is requested (the runner's ``--profile``); otherwise the
+    shared no-op profiler keeps the hot path to one attribute check.
+    """
+
+    def __init__(
+        self, enabled: bool, metrics_registry, tracer, heartbeat, profiler=NOOP_PROFILER
+    ) -> None:
         self.enabled = enabled
         self.metrics = metrics_registry
         self.tracer = tracer
         self.progress = heartbeat
+        self.profiler = profiler
 
     def set_clock(self, clock) -> None:
         """Attach a device's virtual clock to the tracer and heartbeat."""
         self.tracer.set_clock(clock)
         self.progress.set_clock(clock)
+
+    def flush(self) -> None:
+        """Drain batched recording state into the registry.
+
+        Registry reads flush automatically; this is for the moments a
+        *consistent object* matters rather than a read -- e.g. before a
+        farm shard pickles its registry into a :class:`ShardResult`.
+        """
+        self.metrics.flush()
 
 
 #: The permanent disabled handle -- all shared no-op singletons.
@@ -89,18 +109,35 @@ def enable(
     clock=None,
     span_capacity: int = DEFAULT_SPAN_CAPACITY,
     heartbeat_every: int = progress.DEFAULT_EVERY_INJECTIONS,
+    sample_every: int = 1,
+    sample_seed: int = 0,
+    profile: bool = False,
 ) -> Telemetry:
     """Install a fresh live registry/tracer/heartbeat and return the handle.
 
     Calling it again replaces the previous instruments (a fresh campaign
     starts from zero).  *clock* may be attached later via
-    :meth:`Telemetry.set_clock` once the device exists.
+    :meth:`Telemetry.set_clock` once the device exists.  *sample_every*
+    retains 1-in-N spans per span name (deterministically, derived from
+    *sample_seed*; ``1`` retains everything), and *profile* arms the
+    :class:`~repro.telemetry.profiler.PhaseProfiler`.
     """
     global _active
     registry = MetricsRegistry()
-    tracer = Tracer(capacity=span_capacity, clock=clock)
+    tracer = Tracer(
+        capacity=span_capacity,
+        clock=clock,
+        sample_every=sample_every,
+        sample_seed=sample_seed,
+    )
     heartbeat = Heartbeat(registry, every_injections=heartbeat_every, clock=clock)
-    _active = Telemetry(True, registry, tracer, heartbeat)
+    _active = Telemetry(
+        True,
+        registry,
+        tracer,
+        heartbeat,
+        profiler=PhaseProfiler() if profile else NOOP_PROFILER,
+    )
     return _active
 
 
@@ -115,10 +152,18 @@ def session(
     clock=None,
     span_capacity: int = DEFAULT_SPAN_CAPACITY,
     heartbeat_every: int = progress.DEFAULT_EVERY_INJECTIONS,
+    sample_every: int = 1,
+    sample_seed: int = 0,
+    profile: bool = False,
 ) -> Iterator[Telemetry]:
     """Enable telemetry for a ``with`` block, disabling on exit."""
     handle = enable(
-        clock=clock, span_capacity=span_capacity, heartbeat_every=heartbeat_every
+        clock=clock,
+        span_capacity=span_capacity,
+        heartbeat_every=heartbeat_every,
+        sample_every=sample_every,
+        sample_seed=sample_seed,
+        profile=profile,
     )
     try:
         yield handle

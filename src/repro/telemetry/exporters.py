@@ -1,6 +1,6 @@
-"""Exposition: Prometheus text format, JSONL traces, and a summary table.
+"""Exposition: Prometheus text, JSONL traces, summary table, profile.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * ``render_prometheus`` -- the `text exposition format
   <https://prometheus.io/docs/instrumenting/exposition_formats/>`_, for
@@ -8,31 +8,37 @@ Three consumers, three formats:
 * ``spans_to_jsonl`` -- one finished span per line, newest window of the
   tracer's ring buffer, for offline trace analysis;
 * ``render_summary`` -- the human-readable table behind
-  ``adb shell dumpsys telemetry``.
+  ``adb shell dumpsys telemetry`` (plus the tracer's sampling account and
+  the ``SELF-PROFILE`` section when those features are armed);
+* ``render_collapsed`` -- the self-profiler as flamegraph-ready
+  collapsed stacks (``phase;subphase <microseconds>``).
 
-``export_snapshot`` writes all three next to each other, which is what the
-runner's ``--telemetry DIR`` flag calls.
+``export_snapshot`` writes them next to each other, which is what the
+runner's ``--telemetry DIR`` flag calls (``profile.collapsed`` appears
+only under ``--profile``, so default exports stay byte-stable).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.telemetry import Telemetry
+    from repro.telemetry.profiler import PhaseProfiler
 
 
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
-def _render_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
-    merged = {**labels, **extra}
+def _render_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = {**labels, **extra} if extra else dict(labels)
     if not merged:
         return ""
     body = ",".join(
@@ -42,8 +48,21 @@ def _render_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
 
 
 def _format_value(value: float) -> str:
+    """One sample value as Prometheus-conformant text.
+
+    Non-finite values use the spec's spellings (``+Inf``/``-Inf``/``NaN``
+    -- ``repr`` would emit Python's ``inf``/``nan``, which scrapers
+    reject), integral values drop the trailing ``.0``, and everything else
+    uses Python's shortest round-trip float text, which Go's float parser
+    (the format's reference reader) accepts.
+    """
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
     as_int = int(value)
-    return str(as_int) if value == as_int else repr(value)
+    return str(as_int) if value == as_int else str(value)
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
@@ -108,16 +127,51 @@ def render_summary(telemetry: "Telemetry") -> str:
         f"spans: {len(tracer)} retained, {tracer.dropped} dropped,"
         f" {tracer.open_depth} open"
     )
+    # Gated on sampling being armed: the default summary must stay
+    # byte-identical whether or not this release knows about sampling.
+    if getattr(tracer, "sample_every", 1) > 1:
+        lines.append(
+            f"sampling: 1-in-{tracer.sample_every}"
+            f" (seed={tracer.sample_seed}), {tracer.sampled_out} sampled out"
+        )
     heartbeat = telemetry.progress.last_snapshot
     if heartbeat is not None:
         lines.append(heartbeat.render())
+    prof = telemetry.profiler
+    if prof.enabled:
+        lines.append("")
+        lines.append("SELF-PROFILE (wall self-time per phase path)")
+        rows = prof.paths()
+        if not rows:
+            lines.append("(no phases recorded)")
+        else:
+            total = prof.total_seconds() or 1.0
+            lines.append(f"{'PHASE':<44} {'SELF':>10} {'%':>6} {'ENTRIES':>9}")
+            for path, self_s, entries in rows:
+                name = ";".join(path)
+                lines.append(
+                    f"{name:<44} {self_s:>9.3f}s {100.0 * self_s / total:>5.1f}% {entries:>9}"
+                )
     return "\n".join(lines)
+
+
+def render_collapsed(profiler: "PhaseProfiler") -> str:
+    """The profiler as collapsed stacks: ``a;b <self-microseconds>`` lines.
+
+    Microsecond integers rather than float seconds because flamegraph.pl
+    sums sample counts -- integral weights collapse cleanly.
+    """
+    return "\n".join(
+        f"{';'.join(path)} {int(round(self_s * 1e6))}"
+        for path, self_s, _ in profiler.paths()
+    )
 
 
 def export_snapshot(directory: str, telemetry: "Telemetry") -> Dict[str, str]:
     """Write metrics.prom, trace.jsonl and summary.txt under *directory*.
 
-    Returns ``{artifact name: path written}``.
+    With ``--profile`` armed, a flamegraph-ready ``profile.collapsed``
+    rides along.  Returns ``{artifact name: path written}``.
     """
     os.makedirs(directory, exist_ok=True)
     artifacts = {
@@ -125,6 +179,8 @@ def export_snapshot(directory: str, telemetry: "Telemetry") -> Dict[str, str]:
         "trace.jsonl": spans_to_jsonl(telemetry.tracer),
         "summary.txt": render_summary(telemetry),
     }
+    if telemetry.profiler.enabled:
+        artifacts["profile.collapsed"] = render_collapsed(telemetry.profiler)
     written: Dict[str, str] = {}
     for name, content in artifacts.items():
         path = os.path.join(directory, name)

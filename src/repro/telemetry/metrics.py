@@ -106,12 +106,13 @@ class HistogramChild:
         self.count = 0
 
     def observe(self, value: float) -> None:
+        from repro.telemetry.record import bucket_index_table
+
         self.sum += value
         self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                break
+        i = bucket_index_table(self.buckets).index(value)
+        if i < len(self.counts):
+            self.counts[i] += 1
 
     def cumulative_counts(self) -> List[int]:
         """Per-bucket cumulative counts (Prometheus ``le`` semantics)."""
@@ -242,6 +243,19 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
         self.enabled = True
+        #: Bound handles (:mod:`repro.telemetry.record`) with batched state
+        #: to drain before any read of the registry.
+        self._watched: List[object] = []
+
+    # -- batched recording (see repro.telemetry.record) --------------------------
+    def watch(self, bound) -> None:
+        """Register a bound handle whose pending state flushes on read."""
+        self._watched.append(bound)
+
+    def flush(self) -> None:
+        """Drain every bound handle's pending samples into the registry."""
+        for bound in self._watched:
+            bound.flush()
 
     def _get_or_create(self, cls: type, name: str, help: str, labelnames, **kwargs):
         metric = self._metrics.get(name)
@@ -278,8 +292,11 @@ class MetricsRegistry:
         (merge order is shard order, so the last shard's level wins), and a
         name registered with a conflicting kind or label set is an error.
         The farm uses this to collapse per-shard registries into the
-        study-wide registry the exporters render.
+        study-wide registry the exporters render.  Both sides flush their
+        batched handles first (ours here, the other's via ``collect``), so
+        the merged gauges can never be overwritten by stale pending levels.
         """
+        self.flush()
         for metric in other.collect():
             if isinstance(metric, Histogram):
                 mine = self.histogram(
@@ -293,9 +310,11 @@ class MetricsRegistry:
                 mine.labels(**labels).merge_from(child)
 
     def get(self, name: str) -> Optional[_Metric]:
+        self.flush()
         return self._metrics.get(name)
 
     def collect(self) -> Iterator[_Metric]:
+        self.flush()
         for name in sorted(self._metrics):
             yield self._metrics[name]
 
@@ -352,6 +371,12 @@ class NoopRegistry:
     """Disabled twin of :class:`MetricsRegistry`: every lookup is free."""
 
     enabled = False
+
+    def watch(self, bound) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
 
     def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> _NoopMetric:
         return _NOOP_METRIC

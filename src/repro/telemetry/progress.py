@@ -70,7 +70,12 @@ class Heartbeat:
         self.every_injections = every_injections
         self._listeners: List[Listener] = []
         self._injections = 0
+        # Provisional baseline only: the rate clock really starts at the
+        # first tick (or an explicit start()).  Stamping *only* here skewed
+        # every wall_rate downward by however long the handle sat idle
+        # between telemetry.enable() and the campaign's first injection.
         self._start_wall_s = time.perf_counter()
+        self._started = False
         self._clock = clock
         self._start_virtual_ms = clock.now_ms() if clock is not None else None
         self.last_snapshot: Optional[Snapshot] = None
@@ -83,11 +88,47 @@ class Heartbeat:
     def add_listener(self, listener: Listener) -> None:
         self._listeners.append(listener)
 
+    def start(self) -> None:
+        """Reset the rate baseline to *now* (the campaign actually starting).
+
+        Called automatically by the first :meth:`count_injection`; callers
+        that know their campaign start (the farm does) may call it
+        explicitly to restart the baseline.
+        """
+        self._started = True
+        self._start_wall_s = time.perf_counter()
+        if self._clock is not None:
+            self._start_virtual_ms = self._clock.now_ms()
+
     # -- ticking ---------------------------------------------------------------
     def count_injection(self) -> None:
         """One injection happened; emit a snapshot every Nth call."""
+        if not self._started:
+            self.start()
         self._injections += 1
         if self._injections % self.every_injections == 0:
+            self.emit()
+
+    def count_injections(self, count: int) -> None:
+        """Count *count* injections at once (the fuzzer's batched tick).
+
+        The injection loop accumulates a local counter and flushes it at
+        batch boundaries, so the per-injection heartbeat cost is one local
+        integer add.  A snapshot is emitted when the bulk add crosses an
+        ``every_injections`` boundary -- at most one flush interval later
+        than per-call counting would have emitted it.  ``count == 0`` is
+        the loop-entry call that pins the rate baseline to campaign start
+        without emitting.
+        """
+        if not self._started:
+            self.start()
+        if not count:
+            return
+        before = self._injections
+        after = before + count
+        self._injections = after
+        every = self.every_injections
+        if before // every != after // every:
             self.emit()
 
     def emit(self) -> Snapshot:
@@ -142,7 +183,13 @@ class NoopHeartbeat:
     def add_listener(self, listener: Listener) -> None:
         pass
 
+    def start(self) -> None:
+        pass
+
     def count_injection(self) -> None:
+        pass
+
+    def count_injections(self, count: int) -> None:
         pass
 
 

@@ -1,0 +1,229 @@
+"""The fast recording core: pre-resolved, batched metric handles.
+
+The registry in :mod:`repro.telemetry.metrics` is built for correctness and
+exposition, not for the injection hot path: recording one sample through it
+costs a name lookup, a label-set validation, a label-tuple build, and a
+child lookup -- repeated a few hundred thousand times per second once the
+fuzzer, the activity manager, and logcat are all instrumented, that is how
+telemetry-on halved throughput.
+
+This module turns the per-sample cost into an attribute add:
+
+* A **site** (:class:`CounterSite` / :class:`GaugeSite` /
+  :class:`HistogramSite`) is declared once, at module scope, next to the
+  code it instruments.  It memoises the resolved metric family *per
+  registry identity*, so a site survives telemetry sessions, farm shard
+  handles, and forked workers without ever leaking samples across them.
+* ``site.bind(registry, labelvalues)`` resolves one label tuple into a
+  **bound handle** -- a ``__slots__`` accumulator wired to the registry
+  child.  Label values are interned so the per-site cache is a pointer-hash
+  dict hit.  Binding is the cold half; sites do it once per label tuple.
+* The handle accumulates locally (``pending`` for counters, a local counts
+  array for histograms) and **flushes in batches** into the registry.
+  Flushing is automatic: every registry *read* (``get`` / ``collect`` --
+  and therefore every exporter, the heartbeat, ``dumpsys telemetry``, and
+  the farm merge) drains pending state first, so readers can never observe
+  a stale registry.
+
+Histograms precompute a bucket index table (:func:`bucket_index_table`):
+for the integral-millisecond values the simulator's clocks produce, finding
+the bucket is a list index instead of a linear scan.
+"""
+
+from __future__ import annotations
+
+import sys
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Largest integral value covered by a precomputed index table; values past
+#: the last finite bucket (or fractional ones) fall back to bisection.
+MAX_TABLE_SIZE = 65536
+
+_index_tables: Dict[Tuple[float, ...], "BucketIndexTable"] = {}
+
+
+class BucketIndexTable:
+    """Precomputed value -> bucket-index mapping for one bucket layout.
+
+    ``index(v)`` returns the index of the first bucket with ``v <= bound``,
+    or ``len(bounds)`` when *v* falls past the last bucket.  Integral values
+    within the table range resolve with a single list index.
+    """
+
+    __slots__ = ("bounds", "_table", "_limit")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self._limit = min(int(self.bounds[-1]), MAX_TABLE_SIZE) if self.bounds else -1
+        self._table = [bisect_left(self.bounds, k) for k in range(self._limit + 1)]
+
+    def index(self, value: float) -> int:
+        if 0 <= value <= self._limit:
+            as_int = int(value)
+            if as_int == value:
+                return self._table[as_int]
+        return bisect_left(self.bounds, value)
+
+
+def bucket_index_table(bounds: Sequence[float]) -> BucketIndexTable:
+    """The shared index table for *bounds* (one per distinct layout)."""
+    key = tuple(bounds)
+    table = _index_tables.get(key)
+    if table is None:
+        table = BucketIndexTable(key)
+        _index_tables[key] = table
+    return table
+
+
+class BoundCounter:
+    """A counter series resolved to its child; increments batch locally."""
+
+    __slots__ = ("child", "pending")
+
+    def __init__(self, child) -> None:
+        self.child = child
+        self.pending = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.pending += amount
+
+    def flush(self) -> None:
+        if self.pending:
+            self.child.value += self.pending
+            self.pending = 0.0
+
+
+class BoundGauge:
+    """A gauge series resolved to its child; the newest level wins."""
+
+    __slots__ = ("child", "value", "dirty")
+
+    def __init__(self, child) -> None:
+        self.child = child
+        self.value = 0.0
+        self.dirty = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.dirty = True
+
+    def flush(self) -> None:
+        if self.dirty:
+            self.child.value = float(self.value)
+            self.dirty = False
+
+
+class BoundHistogram:
+    """A histogram series with a local counts array and an index table."""
+
+    __slots__ = ("child", "counts", "sum", "count", "_table")
+
+    def __init__(self, child) -> None:
+        self.child = child
+        self.counts = [0] * len(child.buckets)
+        self.sum = 0.0
+        self.count = 0
+        self._table = bucket_index_table(child.buckets)
+
+    def observe(self, value: float) -> None:
+        i = self._table.index(value)
+        if i < len(self.counts):
+            self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+
+    def flush(self) -> None:
+        if self.count:
+            child = self.child
+            for i, c in enumerate(self.counts):
+                if c:
+                    child.counts[i] += c
+                    self.counts[i] = 0
+            child.sum += self.sum
+            child.count += self.count
+            self.sum = 0.0
+            self.count = 0
+
+
+class _Site:
+    """Shared site machinery: family + bound-handle caches per registry.
+
+    The caches key on registry *identity*: a new telemetry session, a farm
+    shard's scoped handle, or a forked worker's registry each invalidate
+    the previous binding in one pointer comparison.
+    """
+
+    kind = "counter"
+    bound_class: type = BoundCounter
+
+    __slots__ = ("name", "help", "labelnames", "_registry", "_family", "_bound")
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._registry = None
+        self._family = None
+        self._bound: Dict[Tuple[str, ...], object] = {}
+
+    def _resolve_family(self, registry):
+        return registry.counter(self.name, self.help, self.labelnames)
+
+    def family(self, registry):
+        """The resolved metric family, re-resolved when *registry* changes."""
+        if registry is not self._registry:
+            self._family = self._resolve_family(registry)
+            self._bound = {}
+            self._registry = registry
+        return self._family
+
+    def bind(self, registry, labelvalues: Tuple[str, ...] = ()):
+        """The bound handle for one label tuple (cached per registry)."""
+        if registry is not self._registry:
+            self.family(registry)
+        handle = self._bound.get(labelvalues)
+        if handle is None:
+            interned = tuple(sys.intern(str(v)) for v in labelvalues)
+            child = self._family.labels(**dict(zip(self.labelnames, interned)))
+            handle = self.bound_class(child)
+            registry.watch(handle)
+            self._bound[interned] = handle
+            if interned != labelvalues:
+                self._bound[labelvalues] = handle
+        return handle
+
+
+class CounterSite(_Site):
+    kind = "counter"
+    bound_class = BoundCounter
+
+
+class GaugeSite(_Site):
+    kind = "gauge"
+    bound_class = BoundGauge
+
+    def _resolve_family(self, registry):
+        return registry.gauge(self.name, self.help, self.labelnames)
+
+
+class HistogramSite(_Site):
+    kind = "histogram"
+    bound_class = BoundHistogram
+
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+
+    def _resolve_family(self, registry):
+        if self.buckets is not None:
+            return registry.histogram(self.name, self.help, self.labelnames, self.buckets)
+        return registry.histogram(self.name, self.help, self.labelnames)

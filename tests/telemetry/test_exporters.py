@@ -95,3 +95,65 @@ class TestSummaryAndSnapshot:
         rows = parse_jsonl_spans((tmp_path / "trace.jsonl").read_text())
         assert rows[0]["name"] == "study"
         assert "TELEMETRY" in (tmp_path / "summary.txt").read_text()
+
+
+class TestValueFormatting:
+    def test_nonfinite_values_use_prometheus_spellings(self):
+        from repro.telemetry.exporters import _format_value
+
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("nan")) == "NaN"
+
+    def test_integral_floats_drop_the_point(self):
+        from repro.telemetry.exporters import _format_value
+
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.0) == "0"
+        assert _format_value(2.5) == "2.5"
+
+    def test_infinite_gauge_renders_scrapeable_text(self):
+        registry = MetricsRegistry()
+        registry.gauge("limit", "A limit.").labels().set(float("inf"))
+        assert "limit +Inf\n" in render_prometheus(registry)
+
+    def test_label_renderer_does_not_leak_extra_labels(self):
+        """Regression: ``extra`` was a mutable default dict; one histogram
+        render could poison every later label-less call."""
+        from repro.telemetry.exporters import _render_labels
+
+        before = _render_labels({"a": "1"})
+        _render_labels({"a": "1"}, {"le": "5"})
+        assert _render_labels({"a": "1"}) == before
+        assert _render_labels({}) == ""
+
+
+class TestSamplingAndProfileSurfaces:
+    def test_summary_mentions_sampling_only_when_armed(self):
+        from repro import telemetry as telemetry_mod
+        from repro.telemetry.exporters import render_summary
+
+        with telemetry_mod.session() as t:
+            assert "sampling:" not in render_summary(t)
+        with telemetry_mod.session(sample_every=50) as t:
+            t.tracer.record_leaf("injection", {}, 0.0, 1.0, None, None)
+            text = render_summary(t)
+            assert "sampling: 1-in-50" in text
+            assert "sampled out" in text
+
+    def test_export_snapshot_writes_collapsed_profile_only_under_profile(
+        self, tmp_path
+    ):
+        from repro import telemetry as telemetry_mod
+        from repro.telemetry.exporters import export_snapshot
+
+        with telemetry_mod.session() as t:
+            written = export_snapshot(str(tmp_path / "plain"), t)
+        assert "profile.collapsed" not in written
+        with telemetry_mod.session(profile=True) as t:
+            t.profiler.enter("dispatch")
+            t.profiler.exit()
+            written = export_snapshot(str(tmp_path / "prof"), t)
+        assert "profile.collapsed" in written
+        text = (tmp_path / "prof" / "profile.collapsed").read_text()
+        assert text.startswith("dispatch ")

@@ -147,7 +147,12 @@ class TestExpositionSurfaces:
     def test_heartbeats_fired(self, instrumented_study):
         beats = instrumented_study["beats"]
         assert beats
-        assert beats[-1].injections % 500 == 0
+        # Ticks batch at the fuzzer's pacing boundary, so a snapshot fires
+        # on (not exactly at) each every-Nth crossing: successive beats
+        # land in strictly increasing 500-injection windows.
+        windows = [beat.injections // 500 for beat in beats]
+        assert all(b > a for a, b in zip(windows, windows[1:]))
+        assert all(beat.injections >= 500 for beat in beats)
         assert beats[-1].anrs > 0
         assert beats[-1].virtual_rate is not None
 

@@ -1,0 +1,99 @@
+"""The telemetry self-profiler: phase stacks, self-time, export formats."""
+
+from repro.telemetry.exporters import render_collapsed
+from repro.telemetry.profiler import NOOP_PROFILER, NoopProfiler, PhaseProfiler
+
+
+class TestPhaseAccounting:
+    def test_self_time_excludes_nested_phases(self):
+        prof = PhaseProfiler()
+        prof.enter("dispatch")
+        prof.enter("logcat")
+        prof.exit()
+        prof.exit()
+        rows = dict((path, (s, n)) for path, s, n in prof.paths())
+        assert set(rows) == {("dispatch",), ("dispatch", "logcat")}
+        total = prof.total_seconds()
+        assert total >= 0
+        assert sum(s for s, _ in rows.values()) == total
+
+    def test_entries_counted_per_path(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            prof.enter("generate")
+            prof.exit()
+        ((path, _, entries),) = prof.paths()
+        assert path == ("generate",)
+        assert entries == 3
+
+    def test_reentry_accumulates_into_the_same_path(self):
+        prof = PhaseProfiler()
+        prof.enter("a")
+        prof.enter("b")
+        prof.exit()
+        prof.enter("b")
+        prof.exit()
+        prof.exit()
+        paths = [path for path, _, _ in prof.paths()]
+        assert paths == [("a",), ("a", "b")]
+
+    def test_exit_without_enter_is_harmless(self):
+        prof = PhaseProfiler()
+        prof.exit()
+        assert prof.paths() == []
+        assert prof.open_depth == 0
+
+    def test_open_depth(self):
+        prof = PhaseProfiler()
+        prof.enter("x")
+        assert prof.open_depth == 1
+        prof.exit()
+        assert prof.open_depth == 0
+
+
+class TestMerge:
+    def test_snapshot_round_trips_through_merge(self):
+        shard = PhaseProfiler()
+        shard.enter("dispatch")
+        shard.enter("binder")
+        shard.exit()
+        shard.exit()
+        home = PhaseProfiler()
+        home.merge(shard.snapshot())
+        home.merge(shard.snapshot())
+        rows = {path: (s, n) for path, s, n in home.paths()}
+        ref = {path: (s, n) for path, s, n in shard.paths()}
+        assert set(rows) == set(ref)
+        for path, (seconds, entries) in rows.items():
+            assert seconds == 2 * ref[path][0]
+            assert entries == 2 * ref[path][1]
+
+
+class TestCollapsedExport:
+    def test_flamegraph_ready_lines(self):
+        prof = PhaseProfiler()
+        prof.enter("dispatch")
+        prof.enter("logcat")
+        prof.exit()
+        prof.exit()
+        lines = render_collapsed(prof).splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack in ("dispatch", "dispatch;logcat")
+            assert int(weight) >= 0  # integral microseconds
+
+    def test_empty_profiler_renders_empty(self):
+        assert render_collapsed(PhaseProfiler()) == ""
+
+
+class TestNoopProfiler:
+    def test_inert(self):
+        prof = NoopProfiler()
+        prof.enter("x")
+        prof.exit()
+        prof.merge({"a": (1.0, 1)})
+        assert prof.paths() == []
+        assert prof.total_seconds() == 0.0
+        assert prof.snapshot() == {}
+        assert not NOOP_PROFILER.enabled

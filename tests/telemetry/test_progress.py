@@ -97,3 +97,60 @@ class TestNoopHeartbeat:
         hub.set_clock(Clock())
         assert hub.injections == 0
         assert hub.last_snapshot is None
+
+
+class TestBatchedTicks:
+    def test_bulk_counts_match_per_call_counts(self):
+        _, per_call = make_hub(every=10)
+        _, bulk = make_hub(every=10)
+        for _ in range(35):
+            per_call.count_injection()
+        for chunk in (7, 7, 7, 7, 7):
+            bulk.count_injections(chunk)
+        assert bulk.injections == per_call.injections == 35
+
+    def test_emits_when_a_bulk_add_crosses_the_boundary(self):
+        _, hub = make_hub(every=10)
+        seen = []
+        hub.add_listener(seen.append)
+        hub.count_injections(9)
+        assert seen == []
+        hub.count_injections(9)  # crosses 10
+        assert [snap.injections for snap in seen] == [18]
+        hub.count_injections(25)  # crosses 20, 30, and 40: one emit
+        assert [snap.injections for snap in seen] == [18, 43]
+
+    def test_zero_count_pins_the_baseline_without_emitting(self):
+        _, hub = make_hub(every=1)
+        seen = []
+        hub.add_listener(seen.append)
+        hub.count_injections(0)
+        assert seen == []
+        assert hub.injections == 0
+
+
+class TestRateBaseline:
+    def test_first_tick_resets_the_wall_baseline(self):
+        """Regression: idle time between enable() and the first injection
+        used to be billed to the campaign, skewing every wall_rate down."""
+        _, hub = make_hub(every=1000)
+        hub._start_wall_s -= 3600.0  # simulate an hour of pre-campaign idle
+        hub.count_injection()
+        snap = hub.snapshot()
+        assert snap.wall_elapsed_s < 60.0
+        assert snap.wall_rate > 0.1
+
+    def test_explicit_start_rebases_both_clocks(self):
+        clock = Clock()
+        _, hub = make_hub(clock=clock)
+        clock.sleep(5000)
+        hub.start()
+        clock.sleep(1000)
+        hub.count_injection()
+        assert hub.snapshot().virtual_elapsed_ms == 1000
+
+    def test_bulk_tick_also_arms_the_baseline(self):
+        _, hub = make_hub(every=1000)
+        hub._start_wall_s -= 3600.0
+        hub.count_injections(0)  # the loop-entry pin
+        assert hub.snapshot().wall_elapsed_s < 60.0
