@@ -1,0 +1,58 @@
+"""Measure guided vs blind crash-bucket coverage at an equal intent budget.
+
+Writes ``BENCH_guided.json`` at the repo root: for the full wear catalog at
+quick scale, the blind study's actual intent volume, then both pipelines'
+distinct ``(component, exception)`` crash buckets, buckets per 1k intents,
+the guided corpus size, and wall-clock for each side.  The guided study's
+worker-count determinism means the numbers are identical at any ``--workers``
+value; wall-clock is recorded for the sequential path.
+
+Run with: ``PYTHONPATH=src python benchmarks/bench_guided.py``
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.experiments.ablations import ablate_guided_vs_blind
+
+
+def main() -> None:
+    start = time.perf_counter()
+    rows = ablate_guided_vs_blind()
+    wall = round(time.perf_counter() - start, 2)
+    by_mode = {row.mode: row for row in rows}
+    blind, guided = by_mode["blind"], by_mode["guided"]
+    results = {
+        "bench": "guided_vs_blind",
+        "cpu_count": os.cpu_count(),
+        "config": "quick",
+        "budget_intents": blind.intents,
+        "wall_s_total": wall,
+        "modes": {
+            "blind": {
+                "intents": blind.intents,
+                "distinct_buckets": blind.distinct_buckets,
+                "buckets_per_kintents": round(blind.buckets_per_kintents, 4),
+            },
+            "guided": {
+                "intents": guided.intents,
+                "distinct_buckets": guided.distinct_buckets,
+                "buckets_per_kintents": round(guided.buckets_per_kintents, 4),
+                "corpus_size": guided.corpus_size,
+                "rounds": guided.rounds,
+            },
+        },
+        "guided_minus_blind_buckets": guided.distinct_buckets - blind.distinct_buckets,
+    }
+    out = os.path.join(os.path.dirname(__file__), "..", "BENCH_guided.json")
+    with open(out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    json.dump(results, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()

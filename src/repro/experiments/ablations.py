@@ -15,12 +15,15 @@ this reproduction is a simulator, each choice can be swept:
   together; slow enough pacing lets the device "outrun" the loop window.)
 * :func:`ablate_stride` -- is the Table III shape stable under quick-scale
   subsampling, i.e. is the quick configuration trustworthy?
+* :func:`ablate_guided_vs_blind` -- at an equal intent budget, does the
+  feedback-guided scheduler (:mod:`repro.guided`) reach at least the blind
+  study's distinct crash buckets?
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.manifest import Manifestation, StudyCollector
 from repro.apps.builtin import AMBIENT_BINDER_PACKAGE
@@ -277,6 +280,109 @@ def ablate_vendor_layer(
             )
         )
     return rows
+
+
+@dataclasses.dataclass
+class GuidedAblationRow:
+    """Guided vs blind at one (equal) intent budget."""
+
+    mode: str                   # "blind" | "guided"
+    intents: int                # intents actually sent
+    distinct_buckets: int       # distinct (component, exception) crash buckets
+    buckets_per_kintents: float
+    corpus_size: int            # behaviours banked (0 for blind)
+    rounds: int                 # scheduler rounds (0 for blind)
+
+
+def ablate_guided_vs_blind(
+    packages: Optional[Sequence[str]] = None,
+    config=None,
+    guided=None,
+) -> List[GuidedAblationRow]:
+    """Does feedback guidance buy crash coverage at a fixed intent budget?
+
+    The blind study spends the paper's fixed per-(package, campaign) volume;
+    the guided study gets *the same total budget* (the blind run's actual
+    sends) and lets the bandit redistribute it.  Buckets are compared on the
+    coarse ``(component, exception root class)`` key both pipelines can
+    produce -- the blind side buckets from the logcat-derived study
+    collector, the guided side from dispatch-observed crashes -- so neither
+    side gets credit for a signal the other cannot see.
+    """
+    from repro.experiments.config import QUICK
+    from repro.guided import GuidedConfig, run_guided_study
+
+    if config is None:
+        config = QUICK
+    if guided is None:
+        guided = GuidedConfig()
+    corpus = build_wear_corpus(seed=config.corpus_seed)
+    if packages is None:
+        packages = [app.package.package for app in corpus.apps]
+
+    # -- blind: the paper's fixed volumes, logcat-classified ----------------------
+    watch = WearDevice("guided-ablation", logcat_capacity=config.logcat_capacity)
+    corpus.install(watch)
+    collector = StudyCollector(corpus.packages())
+    fuzzer = FuzzerLibrary(watch)
+    adb = watch.adb
+    adb.logcat_clear()
+    blind_sent = 0
+    for package in packages:
+        for campaign in Campaign:
+            result = fuzzer.fuzz_app(package, campaign, config.fuzz)
+            blind_sent += result.sent
+            collector.fold(adb.logcat(), package, campaign.value)
+            adb.logcat_clear()
+    blind_buckets = {
+        (record.component, cls)
+        for record in collector.component_records()
+        for cls in record.fatal_root_classes
+    }
+
+    # -- guided: same budget, bandit-allocated ------------------------------------
+    guided = dataclasses.replace(guided, budget=blind_sent)
+    guided_result = run_guided_study(config, guided, packages=packages)
+    guided_buckets = {
+        (component, exception)
+        for component, exception, _frame in guided_result.crash_buckets
+    }
+
+    def per_kilo(buckets: int, intents: int) -> float:
+        return buckets / (intents / 1000.0) if intents else 0.0
+
+    return [
+        GuidedAblationRow(
+            mode="blind",
+            intents=blind_sent,
+            distinct_buckets=len(blind_buckets),
+            buckets_per_kintents=per_kilo(len(blind_buckets), blind_sent),
+            corpus_size=0,
+            rounds=0,
+        ),
+        GuidedAblationRow(
+            mode="guided",
+            intents=guided_result.total_sent,
+            distinct_buckets=len(guided_buckets),
+            buckets_per_kintents=per_kilo(len(guided_buckets), guided_result.total_sent),
+            corpus_size=len(guided_result.corpus),
+            rounds=len(guided_result.rounds),
+        ),
+    ]
+
+
+def render_guided_rows(rows: Sequence[GuidedAblationRow]) -> str:
+    lines = [
+        "ABLATION: guided vs blind (equal intent budget)",
+        "-" * 60,
+        f"{'mode':>8} {'intents':>9} {'buckets':>8} {'/1k':>7} {'corpus':>7} {'rounds':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.mode:>8} {row.intents:>9} {row.distinct_buckets:>8} "
+            f"{row.buckets_per_kintents:>7.2f} {row.corpus_size:>7} {row.rounds:>7}"
+        )
+    return "\n".join(lines)
 
 
 def render_rows(rows: Sequence[AblationRow]) -> str:

@@ -144,6 +144,8 @@ usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
                        [--journal FILE | --resume FILE] [--kill-after N]
                        [--shard-timeout S] [--max-shard-attempts N]
                        [--allow-partial]
+                       [--guided] [--corpus-dir DIR] [--scheduler NAME]
+                       [--guided-budget N]
 
 Runs the three reproduced studies (wear, phone, QGJ-UI) and prints every
 table and figure of the paper's evaluation.
@@ -180,6 +182,18 @@ options:
   --allow-partial  complete the study even if shards fail every attempt,
                    printing a DEGRADED health report and exiting 4 instead
                    of aborting
+  --guided         run the feedback-guided wear study instead of the blind
+                   report: a bandit scheduler shifts the intent budget
+                   toward (package, campaign) arms still yielding novel
+                   behaviours; prints the guided report (byte-identical at
+                   any --workers count)
+  --corpus-dir DIR write corpus.jsonl and schedule.jsonl under DIR
+                   (requires --guided)
+  --scheduler NAME bandit policy: ucb (default) or thompson
+                   (requires --guided)
+  --guided-budget N
+                   total intent budget for the guided study (default: what
+                   the blind wear study would spend; requires --guided)
   -h, --help       show this message
 
 exit codes:
@@ -222,6 +236,12 @@ def _build_parser() -> _ArgumentParser:
         "--max-shard-attempts", dest="max_shard_attempts", type=int, metavar="N"
     )
     parser.add_argument("--allow-partial", dest="allow_partial", action="store_true")
+    parser.add_argument("--guided", dest="guided", action="store_true")
+    parser.add_argument("--corpus-dir", dest="corpus_dir", metavar="DIR")
+    parser.add_argument("--scheduler", dest="scheduler", metavar="NAME")
+    parser.add_argument(
+        "--guided-budget", dest="guided_budget", type=int, metavar="N"
+    )
     return parser
 
 
@@ -271,6 +291,36 @@ def main(argv=None) -> int:
         flag = "--telemetry-sample" if opts.telemetry_sample != 1 else "--profile"
         print(f"{flag} requires --telemetry DIR\n{USAGE}", file=sys.stderr)
         return 2
+    if not opts.guided:
+        for flag, value in (
+            ("--corpus-dir", opts.corpus_dir),
+            ("--scheduler", opts.scheduler),
+            ("--guided-budget", opts.guided_budget),
+        ):
+            if value is not None:
+                print(f"{flag} requires --guided\n{USAGE}", file=sys.stderr)
+                return 2
+    else:
+        if opts.scheduler is not None and opts.scheduler not in ("ucb", "thompson"):
+            print(
+                f"--scheduler must be ucb or thompson, got {opts.scheduler!r}\n{USAGE}",
+                file=sys.stderr,
+            )
+            return 2
+        if opts.guided_budget is not None and opts.guided_budget < 1:
+            print(
+                f"--guided-budget must be >= 1, got {opts.guided_budget}\n{USAGE}",
+                file=sys.stderr,
+            )
+            return 2
+        if opts.json_path is not None or opts.journal_path is not None or (
+            opts.resume_path is not None or opts.kill_after is not None
+        ):
+            print(
+                f"--guided cannot combine with --json or checkpointing flags\n{USAGE}",
+                file=sys.stderr,
+            )
+            return 2
     handle: Optional[telemetry.Telemetry] = None
     if opts.telemetry_dir is not None:
         handle = telemetry.enable(
@@ -291,7 +341,25 @@ def main(argv=None) -> int:
     healths = []
     try:
         try:
-            if stateful:
+            if opts.guided:
+                from repro.guided import GuidedConfig, run_guided_study
+
+                guided_config = GuidedConfig(
+                    scheduler=opts.scheduler or "ucb",
+                    budget=opts.guided_budget,
+                )
+                result = run_guided_study(
+                    by_name(config_name),
+                    guided_config,
+                    workers=opts.workers,
+                    telemetry_handle=handle,
+                )
+                if opts.corpus_dir is not None:
+                    result.save(opts.corpus_dir)
+                    print(f"wrote {opts.corpus_dir}/corpus.jsonl", file=sys.stderr)
+                    print(f"wrote {opts.corpus_dir}/schedule.jsonl", file=sys.stderr)
+                print(result.render())
+            elif stateful:
                 if journal is None:
                     print(
                         f"--kill-after needs --journal or --resume\n{USAGE}",

@@ -32,6 +32,7 @@ from repro.faults.journal import CheckpointJournal, KillSwitch
 from repro.faults.plan import FaultPlan
 from repro.faults.plane import NOOP_PLANE, FaultPlane
 from repro.faults.retry import RetryPolicy
+from repro.guided.engine import BlockOutcome, GuidedTask, run_guided_blocks
 from repro.qgj.campaigns import Campaign
 from repro.qgj.fuzzer import QGJ_MOBILE_PACKAGE, QGJ_WEAR_PACKAGE, FuzzerLibrary
 from repro.qgj.master import deploy
@@ -92,6 +93,9 @@ class ShardSpec:
     #: Worker-crash injection (see :class:`repro.farm.health.CrashPolicy`);
     #: ``None`` also consults the ``REPRO_FARM_CRASH`` environment hook.
     crash: Optional[CrashPolicy] = None
+    #: One package's round slice for ``study == "guided"`` (blocks, pool,
+    #: known fingerprints); ``None`` for the blind studies.
+    guided: Optional[GuidedTask] = None
 
 
 @dataclasses.dataclass
@@ -113,6 +117,8 @@ class ShardResult:
     spans_sampled_out: int = 0
     #: The worker-local profiler's snapshot (``None`` unless profiling).
     profile: Optional[dict] = None
+    #: Block outcomes for a guided shard (``None`` for the blind studies).
+    guided: Optional[List[BlockOutcome]] = None
 
 
 def _fresh_handle(spec: ShardSpec) -> Telemetry:
@@ -187,6 +193,8 @@ def run_shard(
         result = _run_wear_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt)
     elif spec.study == "phone":
         result = _run_phone_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt)
+    elif spec.study == "guided":
+        result = _run_guided_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt)
     else:
         raise ValueError(f"unknown shard study kind: {spec.study!r}")
     if owns_handle and handle.enabled:
@@ -352,6 +360,63 @@ def _run_wear_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attemp
         watch=watch,
         phone=phone,
         clock_ms=watch.clock.now_ms(),
+    )
+
+
+def _run_guided_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt) -> ShardResult:
+    """One guided shard: a fresh device pair running one package's blocks.
+
+    Same device recipe as the wear shard -- full corpus installed, QGJ
+    deployed, virtual clock from zero -- so a behaviour the blind study can
+    reach is reachable here under the identical environment.  The guided
+    study re-shards every round (fresh pair per ``(package, round)``), so
+    a shard's observations depend only on its :class:`GuidedTask`, never on
+    which worker ran it or what round preceded it on that worker.
+    """
+    if spec.guided is None:
+        raise ValueError("guided shard needs a GuidedTask on spec.guided")
+    if spec.journal_path is not None:
+        raise ValueError("the guided study does not support checkpoint journals")
+    config = spec.config
+    crash = _crash_policy(spec)
+    corpus = build_wear_corpus(seed=config.corpus_seed)
+    watch = WearDevice(
+        "moto360", logcat_capacity=config.logcat_capacity, runtime=runtime
+    )
+    phone = PhoneDevice("nexus4", model="LG Nexus 4", runtime=runtime)
+    pair(phone, watch)
+    corpus.install(watch)
+    deploy(phone, watch)
+    fuzzer = FuzzerLibrary(
+        watch, sender_package=QGJ_WEAR_PACKAGE, kill_switch=kill_switch
+    )
+    if handle.enabled:
+        handle.set_clock(watch.clock)
+    _beat(heartbeat)
+    if crash is not None and crash.triggers(attempt, 0):
+        crash.fire(spec.key, attempt, 0)
+    with contextlib.ExitStack() as stack:
+        if handle.enabled:
+            stack.enter_context(
+                handle.tracer.span(
+                    "study",
+                    clock=watch.clock,
+                    study="guided",
+                    config=config.name,
+                    shard=spec.key,
+                )
+            )
+        outcomes = run_guided_blocks(fuzzer, spec.guided, config.fuzz)
+    _beat(heartbeat)
+    return ShardResult(
+        index=spec.index,
+        key=spec.key,
+        summary=FuzzSummary(device=watch.name),
+        collector=StudyCollector(corpus.packages()),
+        watch=watch,
+        phone=phone,
+        clock_ms=watch.clock.now_ms(),
+        guided=outcomes,
     )
 
 

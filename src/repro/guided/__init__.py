@@ -1,0 +1,60 @@
+"""Feedback-guided fuzzing: behaviour corpus, pool mutators, bandit budget.
+
+The paper's QGJ fuzzer is *blind*: every campaign generates its fixed
+intent volume per component and spends it regardless of what the device
+does in response.  This package closes the loop, hypofuzz-style:
+
+* :mod:`repro.guided.fingerprint` classifies each injection's outcome into
+  a :class:`~repro.guided.fingerprint.BehaviorFingerprint` (exception type,
+  component, normalized log signature, lifecycle state) so "novel" is a
+  well-defined predicate;
+* :mod:`repro.guided.corpus` keeps the deduplicated
+  :class:`~repro.guided.corpus.BehaviorCorpus` of intents that produced a
+  novel behaviour, persisted through the checkpoint-journal layer and
+  merged deterministically across farm shards;
+* :mod:`repro.guided.mutators` splices and havocs corpus entries instead
+  of always generating from scratch;
+* :mod:`repro.guided.scheduler` is the multi-armed bandit (UCB1 or seeded
+  Thompson) over ``(package, campaign)`` arms that shifts the remaining
+  injection budget toward arms still yielding novel behaviours;
+* :mod:`repro.guided.study` runs the round-based guided study through the
+  farm's shard layer -- byte-identical corpus, schedule, and report at any
+  worker count.
+"""
+
+from repro.guided.corpus import BehaviorCorpus, CorpusEntry
+from repro.guided.engine import BlockOutcome, GuidedTask, run_guided_blocks
+from repro.guided.fingerprint import BehaviorFingerprint, fingerprint_injection
+from repro.guided.mutators import MUTATION_OPS, mutate_intent
+from repro.guided.scheduler import (
+    ArmState,
+    ThompsonScheduler,
+    UcbScheduler,
+    make_scheduler,
+)
+from repro.guided.study import (
+    GuidedConfig,
+    GuidedStudyResult,
+    blind_equivalent_budget,
+    run_guided_study,
+)
+
+__all__ = [
+    "ArmState",
+    "BehaviorCorpus",
+    "BehaviorFingerprint",
+    "BlockOutcome",
+    "CorpusEntry",
+    "GuidedConfig",
+    "GuidedStudyResult",
+    "GuidedTask",
+    "MUTATION_OPS",
+    "ThompsonScheduler",
+    "UcbScheduler",
+    "blind_equivalent_budget",
+    "fingerprint_injection",
+    "make_scheduler",
+    "mutate_intent",
+    "run_guided_blocks",
+    "run_guided_study",
+]

@@ -1,0 +1,226 @@
+"""The behaviour corpus: deduplicated "interesting" intents, persisted and
+deterministically mergeable.
+
+An intent earns a corpus slot by producing a behaviour fingerprint nobody
+has seen before.  The corpus is keyed on the fingerprint, so it can answer
+"is this novel?" in O(1), hand the mutators a pool of proven-interesting
+intents per ``(package, campaign)`` arm, and -- critically for the farm --
+merge across shards to the *same* corpus no matter how many workers ran or
+in what order their results arrived:
+
+* entries sort by a canonical key (fingerprint tuple, then package,
+  campaign, and the intent's canonical JSON), so iteration order never
+  depends on insertion order;
+* when two shards discover the same fingerprint with different intents in
+  the same round, :meth:`BehaviorCorpus.merge` keeps the entry with the
+  smallest canonical key -- a tie-break no worker count can perturb.
+
+Persistence rides the existing checkpoint-journal layer
+(:class:`~repro.faults.journal.CheckpointJournal`): a ``corpus.jsonl`` is
+a journal whose header records the corpus version and whose records are
+the entries in canonical order -- so saved corpora are byte-identical
+whenever their contents are equal, and a torn tail from a crash loses at
+most the final entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.faults.journal import CheckpointJournal
+from repro.guided.fingerprint import BehaviorFingerprint
+from repro.qgj.campaigns import FuzzIntent
+
+CORPUS_VERSION = 1
+
+#: Extra value kinds the wire format can round-trip exactly.
+_WIRE_SCALARS = (str, int, float, bool, type(None))
+
+
+def intent_to_wire(intent: FuzzIntent) -> Dict[str, object]:
+    """A JSON-able encoding of one fuzz intent (exact round-trip)."""
+    return {
+        "action": intent.action,
+        "data": intent.data,
+        "extras": [[key, value] for key, value in intent.extras],
+    }
+
+
+def intent_from_wire(wire: Dict[str, object]) -> FuzzIntent:
+    return FuzzIntent(
+        action=wire["action"],
+        data=wire["data"],
+        extras=tuple((key, value) for key, value in wire.get("extras", [])),
+    )
+
+
+def canonical_intent(intent: FuzzIntent) -> str:
+    """The intent's canonical JSON: the corpus's deterministic tie-break."""
+    return json.dumps(intent_to_wire(intent), sort_keys=True)
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusEntry:
+    """One interesting intent and the behaviour that earned its slot."""
+
+    package: str
+    campaign: str                       # Campaign.value
+    fingerprint: BehaviorFingerprint
+    intent: FuzzIntent
+
+    def __post_init__(self) -> None:
+        if not self.package:
+            raise ValueError("corpus entry needs a package")
+        if not self.campaign:
+            raise ValueError("corpus entry needs a campaign")
+        for key, value in self.intent.extras:
+            if not isinstance(key, str) or not isinstance(value, _WIRE_SCALARS):
+                raise ValueError(
+                    f"extra {key!r}={value!r} is not wire-safe "
+                    "(corpus entries must round-trip through JSON)"
+                )
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.fingerprint.as_tuple(),
+            self.package,
+            self.campaign,
+            canonical_intent(self.intent),
+        )
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "package": self.package,
+            "campaign": self.campaign,
+            "fingerprint": list(self.fingerprint.as_tuple()),
+            "intent": intent_to_wire(self.intent),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "CorpusEntry":
+        return cls(
+            package=wire["package"],
+            campaign=wire["campaign"],
+            fingerprint=BehaviorFingerprint.from_tuple(tuple(wire["fingerprint"])),
+            intent=intent_from_wire(wire["intent"]),
+        )
+
+
+def admissible(entry: CorpusEntry) -> bool:
+    """Whether *entry* survives the corpus's wire round-trip unchanged.
+
+    The corpus's admission contract: everything it stores must persist and
+    reload to an equal entry (otherwise a saved corpus would drift from the
+    live one).  Construction already validates the cheap invariants; this
+    checks the full round-trip, and triage uses it to assert that minimized
+    reproducers remain corpus material.
+    """
+    try:
+        return CorpusEntry.from_wire(json.loads(json.dumps(entry.to_wire()))) == entry
+    except (ValueError, KeyError, TypeError):
+        return False
+
+
+class BehaviorCorpus:
+    """Fingerprint-keyed store of interesting intents."""
+
+    def __init__(self, entries: Iterable[CorpusEntry] = ()) -> None:
+        self._entries: Dict[BehaviorFingerprint, CorpusEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    # -- membership ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: BehaviorFingerprint) -> bool:
+        return fingerprint in self._entries
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Admit *entry* if its fingerprint is novel; True when admitted."""
+        if entry.fingerprint in self._entries:
+            return False
+        self._entries[entry.fingerprint] = entry
+        return True
+
+    def fingerprints(self) -> List[BehaviorFingerprint]:
+        return sorted(self._entries)
+
+    def entries(self) -> List[CorpusEntry]:
+        """Every entry, in canonical order (insertion order never leaks)."""
+        return sorted(self._entries.values(), key=CorpusEntry.sort_key)
+
+    def entries_for(
+        self, package: str, campaign: Optional[str] = None
+    ) -> List[CorpusEntry]:
+        """The mutation pool for one arm, in canonical order."""
+        return [
+            entry
+            for entry in self.entries()
+            if entry.package == package
+            and (campaign is None or entry.campaign == campaign)
+        ]
+
+    # -- deterministic merge ------------------------------------------------------
+    @classmethod
+    def merge(cls, corpora: Sequence["BehaviorCorpus"]) -> "BehaviorCorpus":
+        """Union of *corpora*, independent of their order.
+
+        Entries competing for one fingerprint resolve to the smallest
+        canonical key, so any permutation of the inputs -- any shard
+        assignment, any worker count -- merges to the identical corpus.
+        """
+        merged = cls()
+        candidates: Dict[BehaviorFingerprint, CorpusEntry] = {}
+        for corpus in corpora:
+            for entry in corpus._entries.values():
+                held = candidates.get(entry.fingerprint)
+                if held is None or entry.sort_key() < held.sort_key():
+                    candidates[entry.fingerprint] = entry
+        for entry in sorted(candidates.values(), key=CorpusEntry.sort_key):
+            merged.add(entry)
+        return merged
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical encoding: equal corpora, equal digest."""
+        payload = json.dumps(
+            [entry.to_wire() for entry in self.entries()], sort_keys=True
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- persistence (checkpoint-journal layer) -----------------------------------
+    def save(self, path: str, *, seed: Optional[int] = None) -> None:
+        """Write the corpus as a checkpoint journal, canonical order."""
+        journal = CheckpointJournal(path)
+        header = {
+            "kind": "behaviour-corpus",
+            "corpus_version": CORPUS_VERSION,
+            "entries": len(self),
+            "digest": self.digest(),
+        }
+        if seed is not None:
+            header["seed"] = seed
+        journal.start(header)
+        for entry in self.entries():
+            journal.append({"type": "entry", **entry.to_wire()})
+
+    @classmethod
+    def load(cls, path: str) -> "BehaviorCorpus":
+        records = CheckpointJournal.load(path)
+        header = records[0]
+        if header.get("kind") != "behaviour-corpus":
+            raise ValueError(f"{path}: not a behaviour corpus journal")
+        if header.get("corpus_version") != CORPUS_VERSION:
+            raise ValueError(
+                f"{path}: corpus version {header.get('corpus_version')}, "
+                f"expected {CORPUS_VERSION}"
+            )
+        corpus = cls(
+            CorpusEntry.from_wire(record)
+            for record in records[1:]
+            if record.get("type") == "entry"
+        )
+        return corpus

@@ -1,0 +1,162 @@
+"""Behaviour fingerprints: the guided fuzzer's novelty predicate.
+
+Coverage-guided fuzzers need a cheap, stable answer to "did that input do
+anything new?".  Native fuzzers use branch coverage; an unprivileged
+intent fuzzer only sees what the public dispatch surface returns plus what
+the log says afterwards.  The fingerprint therefore folds together the
+four signals this harness can observe per injection:
+
+* the **component** the intent was delivered to;
+* the **outcome class** (delivered / crash / anr / security_exception /
+  not_found / dropped / reboot);
+* the **exception identity** -- root-cause Java class and topmost app
+  frame of the throwable, when the dispatch crashed;
+* the **normalized log signature** -- the exception chain (outer to root)
+  with messages and digits stripped, so two crashes differing only in a
+  payload echo or a pid fingerprint identically;
+* the **lifecycle state** the device was in -- the system server's aging
+  band -- because the paper's reboots manifest "at specific states" that a
+  state-blind key would conflate.
+
+Fingerprints are frozen, ordered, and wire-round-trippable: the corpus
+keys on them, farm shards ship them, and the deterministic merge sorts by
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional, Tuple
+
+from repro.android.jtypes import Throwable
+
+#: Aging bands, as fractions of the system server's reboot threshold.
+#: Coarse on purpose: a fingerprint should not become "novel" every time
+#: the aging score drifts a little.
+_AGING_BANDS: Tuple[Tuple[float, str], ...] = (
+    (0.25, "calm"),
+    (0.75, "strained"),
+)
+_AGING_CEILING = "critical"
+
+_DIGITS_RE = re.compile(r"\d+")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class BehaviorFingerprint:
+    """The dedup key for one observed behaviour."""
+
+    component: str          # flat component string ("pkg/cls")
+    outcome: str            # fuzzer outcome label, or "reboot"
+    exception: str          # root-cause Java class ("" when none)
+    frame: str              # topmost app frame "class.method" ("" when none)
+    log_signature: str      # normalized chain/reason signature
+    lifecycle: str          # aging band at injection time
+
+    def as_tuple(self) -> Tuple[str, str, str, str, str, str]:
+        return (
+            self.component,
+            self.outcome,
+            self.exception,
+            self.frame,
+            self.log_signature,
+            self.lifecycle,
+        )
+
+    @classmethod
+    def from_tuple(cls, values) -> "BehaviorFingerprint":
+        component, outcome, exception, frame, log_signature, lifecycle = values
+        return cls(
+            component=component,
+            outcome=outcome,
+            exception=exception,
+            frame=frame,
+            log_signature=log_signature,
+            lifecycle=lifecycle,
+        )
+
+    def render(self) -> str:
+        detail = self.exception.rsplit(".", 1)[-1] if self.exception else self.outcome
+        return f"{detail} @ {self.component} [{self.lifecycle}]"
+
+
+def normalize_text(text: str) -> str:
+    """Strip run-specific noise (digits) from a log fragment."""
+    return _DIGITS_RE.sub("#", text)
+
+
+def lifecycle_state(device) -> str:
+    """The device's aging band: part of the fingerprint's novelty key."""
+    server = device.system_server
+    threshold = getattr(server, "reboot_threshold", 0.0) or 1.0
+    fraction = server.aging.score() / threshold
+    for ceiling, band in _AGING_BANDS:
+        if fraction < ceiling:
+            return band
+    return _AGING_CEILING
+
+
+def throwable_signature(throwable: Throwable) -> Tuple[str, str, str]:
+    """(root class, top app frame, normalized chain) for one throwable."""
+    root = throwable.root_cause()
+    frame = root.frames[0] if root.frames else None
+    frame_text = f"{frame.class_name}.{frame.method}" if frame else ""
+    chain = []
+    cursor: Optional[Throwable] = throwable
+    while cursor is not None:
+        chain.append(type(cursor).JAVA_NAME)
+        cursor = cursor.cause
+    return type(root).JAVA_NAME, frame_text, normalize_text(">".join(chain))
+
+
+def fingerprint_injection(
+    component: str,
+    outcome: str,
+    dispatch,
+    device,
+    *,
+    rebooted: bool = False,
+) -> BehaviorFingerprint:
+    """Fingerprint one injection from what the dispatch surface returned.
+
+    *dispatch* is the :class:`~repro.android.activity_manager.DispatchResult`
+    (``None`` for resolution failures and transport losses).  *rebooted*
+    overrides the outcome: an injection that took the device down is its
+    own behaviour class regardless of what the dispatch reported.
+    """
+    lifecycle = lifecycle_state(device)
+    if rebooted:
+        outcome = "reboot"
+    exception = ""
+    frame = ""
+    signature = outcome
+    if dispatch is not None and dispatch.throwable is not None:
+        exception, frame, signature = throwable_signature(dispatch.throwable)
+    elif dispatch is not None and dispatch.anr:
+        signature = "anr"
+    return BehaviorFingerprint(
+        component=component,
+        outcome=outcome,
+        exception=exception,
+        frame=frame,
+        log_signature=signature,
+        lifecycle=lifecycle,
+    )
+
+
+def crash_signature(component: str, throwable: Throwable):
+    """The triage-layer :class:`~repro.qgj.triage.CrashSignature` for a
+    crash observed by the guided loop -- the same bucketing key the blind
+    pipeline's triage report uses, so guided-vs-blind bucket counts
+    compare like for like."""
+    from repro.qgj.triage import CrashSignature
+
+    root = throwable.root_cause()
+    frame = root.frames[0] if root.frames else None
+    frame_text = f"{frame.class_name}.{frame.method}" if frame else "(unknown)"
+    return CrashSignature(
+        component=component,
+        exception=type(root).JAVA_NAME,
+        frame=frame_text,
+    )

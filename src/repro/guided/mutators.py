@@ -1,0 +1,157 @@
+"""Pool mutators: new intents from proven-interesting ones.
+
+Generational fuzzing starts every intent from the campaign grammar; pool
+mutation starts from a corpus entry that already produced a novel
+behaviour and perturbs it.  The operators cover the same axes the four
+campaigns corrupt -- action, data URI, extras -- plus *splice*, which
+recombines two corpus entries (hypofuzz's crossover analogue):
+
+=================  ==========================================================
+operator           effect
+=================  ==========================================================
+``swap_action``    replace the action with another valid action
+``garble_action``  replace the action with random ASCII
+``drop_action``    clear the action
+``swap_data``      replace the data URI with another valid sample
+``garble_data``    replace the data URI with random ASCII
+``scheme_slam``    keep the URI scheme, garble the remainder
+``drop_data``      clear the data URI
+``add_extra``      append one random extra
+``drop_extra``     remove one extra
+``mutate_extra``   re-randomize one extra's value
+``splice``         action/data/extras recombined from two pool entries
+=================  ==========================================================
+
+Every operator is a pure function of ``(intent, rng)`` (plus the pool for
+``splice``), so a seeded RNG replays the exact mutation stream -- the
+guided study's determinism leans on that.  Operators that need a field the
+intent lacks fall through to the next applicable one rather than failing,
+so mutation always yields an intent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.android.actions import ALL_ACTIONS, URI_SAMPLES, URI_TYPES
+from repro.qgj.campaigns import FuzzIntent, _random_extra_value, random_ascii
+
+MutationOp = Callable[[FuzzIntent, random.Random, Sequence[FuzzIntent]], Optional[FuzzIntent]]
+
+
+def _swap_action(intent, rng, pool):
+    return FuzzIntent(
+        action=rng.choice(ALL_ACTIONS), data=intent.data, extras=intent.extras
+    )
+
+
+def _garble_action(intent, rng, pool):
+    return FuzzIntent(action=random_ascii(rng), data=intent.data, extras=intent.extras)
+
+
+def _drop_action(intent, rng, pool):
+    if intent.action is None:
+        return None
+    return FuzzIntent(action=None, data=intent.data, extras=intent.extras)
+
+
+def _swap_data(intent, rng, pool):
+    scheme = rng.choice(URI_TYPES)
+    return FuzzIntent(action=intent.action, data=URI_SAMPLES[scheme], extras=intent.extras)
+
+
+def _garble_data(intent, rng, pool):
+    return FuzzIntent(action=intent.action, data=random_ascii(rng), extras=intent.extras)
+
+
+def _scheme_slam(intent, rng, pool):
+    if not intent.data or ":" not in intent.data:
+        return None
+    scheme = intent.data.split(":", 1)[0]
+    return FuzzIntent(
+        action=intent.action, data=f"{scheme}:{random_ascii(rng)}", extras=intent.extras
+    )
+
+
+def _drop_data(intent, rng, pool):
+    if intent.data is None:
+        return None
+    return FuzzIntent(action=intent.action, data=None, extras=intent.extras)
+
+
+def _add_extra(intent, rng, pool):
+    extra = (f"extra_{len(intent.extras)}", _random_extra_value(rng))
+    return FuzzIntent(
+        action=intent.action, data=intent.data, extras=intent.extras + (extra,)
+    )
+
+
+def _drop_extra(intent, rng, pool):
+    if not intent.extras:
+        return None
+    index = rng.randrange(len(intent.extras))
+    extras = tuple(e for i, e in enumerate(intent.extras) if i != index)
+    return FuzzIntent(action=intent.action, data=intent.data, extras=extras)
+
+
+def _mutate_extra(intent, rng, pool):
+    if not intent.extras:
+        return None
+    index = rng.randrange(len(intent.extras))
+    extras = list(intent.extras)
+    extras[index] = (extras[index][0], _random_extra_value(rng))
+    return FuzzIntent(action=intent.action, data=intent.data, extras=tuple(extras))
+
+
+def _splice(intent, rng, pool):
+    if len(pool) < 2:
+        return None
+    other = rng.choice(pool)
+    # Interleave extras, capping at campaign D's five so splicing never
+    # snowballs payload size round over round.
+    extras = tuple((intent.extras + other.extras)[:5])
+    if rng.random() < 0.5:
+        return FuzzIntent(action=intent.action, data=other.data, extras=extras)
+    return FuzzIntent(action=other.action, data=intent.data, extras=extras)
+
+
+#: Operator table, in the order the dispatcher draws from.  Names are part
+#: of the observable mutation stream (tests pin them), so append, don't
+#: reorder.
+MUTATION_OPS: Dict[str, MutationOp] = {
+    "swap_action": _swap_action,
+    "garble_action": _garble_action,
+    "drop_action": _drop_action,
+    "swap_data": _swap_data,
+    "garble_data": _garble_data,
+    "scheme_slam": _scheme_slam,
+    "drop_data": _drop_data,
+    "add_extra": _add_extra,
+    "drop_extra": _drop_extra,
+    "mutate_extra": _mutate_extra,
+    "splice": _splice,
+}
+
+_OP_NAMES: Tuple[str, ...] = tuple(MUTATION_OPS)
+
+
+def mutate_intent(
+    intent: FuzzIntent,
+    rng: random.Random,
+    pool: Sequence[FuzzIntent] = (),
+) -> FuzzIntent:
+    """One mutation of *intent*; deterministic given the RNG state.
+
+    Draws an operator; an operator that does not apply (no extras to drop,
+    nothing to splice with) falls through to the next in table order, and
+    the guaranteed-applicable operators (``swap_action``, ``add_extra``)
+    bound the walk.
+    """
+    start = rng.randrange(len(_OP_NAMES))
+    for offset in range(len(_OP_NAMES)):
+        name = _OP_NAMES[(start + offset) % len(_OP_NAMES)]
+        mutated = MUTATION_OPS[name](intent, rng, pool)
+        if mutated is not None:
+            return mutated
+    raise AssertionError("unreachable: swap_action always applies")

@@ -1,0 +1,164 @@
+"""Bandit budget schedulers over ``(package, campaign)`` arms.
+
+The blind study spends a fixed volume per arm.  The guided study treats
+budget allocation as a multi-armed bandit: each round it picks the arms
+most likely to still yield novel behaviours, spends a block of intents on
+them, and folds the observed novelty back into the arm statistics.
+
+Two policies, selectable with ``--scheduler``:
+
+* :class:`UcbScheduler` (default) -- UCB1 on the per-intent novelty rate
+  with a tunable exploration weight.  Fully deterministic: ties break on
+  arm order, no RNG anywhere.
+* :class:`ThompsonScheduler` -- Thompson sampling with Beta posteriors
+  over per-intent novelty, driven by one seeded ``random.Random``.  Draws
+  happen in fixed arm order each round, so a given seed replays the exact
+  schedule -- on any worker count, because the study only consults the
+  scheduler at round barriers on merged (worker-independent) statistics.
+
+Both start every arm with one forced play: round zero sweeps the whole
+arm set, which doubles as corpus seeding -- no arm can be starved before
+it has reported once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+#: (package, campaign value)
+ArmKey = Tuple[str, str]
+
+
+@dataclasses.dataclass
+class ArmState:
+    """Merged statistics for one arm."""
+
+    plays: int = 0          # completed blocks
+    intents: int = 0        # intents actually spent
+    novel: int = 0          # corpus admissions attributed to this arm
+
+    @property
+    def rate(self) -> float:
+        """Per-intent novelty rate (the bandit's reward signal)."""
+        return self.novel / self.intents if self.intents else 0.0
+
+
+class _BanditBase:
+    """Shared arm bookkeeping; subclasses rank the arms."""
+
+    kind = "bandit"
+
+    def __init__(self, arms: Sequence[ArmKey]) -> None:
+        if not arms:
+            raise ValueError("a scheduler needs at least one arm")
+        if len(set(arms)) != len(arms):
+            raise ValueError("duplicate arms")
+        self.arms: Tuple[ArmKey, ...] = tuple(arms)
+        self.states: Dict[ArmKey, ArmState] = {arm: ArmState() for arm in self.arms}
+
+    @property
+    def total_intents(self) -> int:
+        return sum(state.intents for state in self.states.values())
+
+    def update(self, arm: ArmKey, intents: int, novel: int) -> None:
+        """Fold one completed block's merged outcome into the arm."""
+        state = self.states[arm]
+        state.plays += 1
+        state.intents += intents
+        state.novel += novel
+
+    def allocate(self, k: int) -> List[ArmKey]:
+        """The ``k`` arms to fund this round, never-played arms first.
+
+        Unplayed arms go in arm order (the round-zero sweep); the rest
+        rank by the subclass's score with ties broken on arm order.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        unplayed = [arm for arm in self.arms if self.states[arm].plays == 0]
+        chosen = unplayed[:k]
+        if len(chosen) < k:
+            scores = self._scores()
+            played = [arm for arm in self.arms if self.states[arm].plays > 0]
+            index = {arm: i for i, arm in enumerate(self.arms)}
+            played.sort(key=lambda arm: (-scores[arm], index[arm]))
+            chosen.extend(played[: k - len(chosen)])
+        return chosen
+
+    def _scores(self) -> Dict[ArmKey, float]:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able scheduler state (goes in the schedule artifact)."""
+        return {
+            "kind": self.kind,
+            "arms": [
+                {
+                    "package": arm[0],
+                    "campaign": arm[1],
+                    "plays": state.plays,
+                    "intents": state.intents,
+                    "novel": state.novel,
+                }
+                for arm, state in sorted(self.states.items())
+            ],
+        }
+
+
+class UcbScheduler(_BanditBase):
+    """UCB1 over per-intent novelty rate; deterministic, no RNG."""
+
+    kind = "ucb"
+
+    def __init__(self, arms: Sequence[ArmKey], exploration: float = 0.1) -> None:
+        super().__init__(arms)
+        if exploration < 0:
+            raise ValueError(f"exploration must be >= 0, got {exploration}")
+        self.exploration = exploration
+
+    def _scores(self) -> Dict[ArmKey, float]:
+        total = max(self.total_intents, 1)
+        log_total = math.log(total)
+        return {
+            arm: state.rate
+            + self.exploration * math.sqrt(log_total / state.intents)
+            for arm, state in self.states.items()
+            if state.intents > 0
+        } | {arm: math.inf for arm, state in self.states.items() if state.intents == 0}
+
+
+class ThompsonScheduler(_BanditBase):
+    """Thompson sampling with Beta(1+novel, 1+misses) posteriors.
+
+    One seeded RNG; arms are sampled in fixed arm order each round, so the
+    draw stream -- and therefore the schedule -- is a pure function of the
+    seed and the merged statistics.
+    """
+
+    kind = "thompson"
+
+    def __init__(self, arms: Sequence[ArmKey], seed: int = 0) -> None:
+        super().__init__(arms)
+        self._rng = random.Random(f"thompson|{seed}")
+
+    def _scores(self) -> Dict[ArmKey, float]:
+        scores: Dict[ArmKey, float] = {}
+        for arm in self.arms:  # fixed order: the draw stream is part of the schedule
+            state = self.states[arm]
+            scores[arm] = self._rng.betavariate(
+                1 + state.novel, 1 + max(state.intents - state.novel, 0)
+            )
+        return scores
+
+
+def make_scheduler(
+    kind: str, arms: Sequence[ArmKey], *, seed: int = 0, exploration: float = 0.1
+):
+    if kind == "ucb":
+        return UcbScheduler(arms, exploration=exploration)
+    if kind == "thompson":
+        return ThompsonScheduler(arms, seed=seed)
+    raise ValueError(f"unknown scheduler: {kind!r} (ucb|thompson)")

@@ -23,8 +23,9 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.android.activity_manager import DispatchResult
 from repro.android.component import ComponentInfo, ComponentKind
 from repro.android.device import Device
 from repro.android.jtypes import ActivityNotFoundException, SecurityException
@@ -180,6 +181,50 @@ class FuzzerLibrary:
             self._fuzz_component_instrumented(info, campaign, config, result, t)
         return result
 
+    def fuzz_intent_stream(
+        self,
+        info: ComponentInfo,
+        campaign: Campaign,
+        intents: Iterable[FuzzIntent],
+        config: FuzzConfig = QUICK_CONFIG,
+        result: Optional[ComponentRunResult] = None,
+        observer: Optional[
+            Callable[
+                [ComponentInfo, FuzzIntent, str, Optional[DispatchResult]], None
+            ]
+        ] = None,
+    ) -> ComponentRunResult:
+        """Inject an explicit intent stream instead of a campaign grammar.
+
+        The guided fuzzer's entry point: the caller owns intent selection
+        (corpus mutation, spliced pools, replay) while this method keeps
+        the injection semantics -- pacing, kill switch, reboot abort,
+        quarantine -- identical to the campaign loops by sharing
+        :meth:`_injection_epilogue`.  *observer*, when given, sees every
+        injection as ``(info, intent, outcome, dispatch)`` so callers can
+        fingerprint behaviours without re-entering the dispatch path.
+        Passing *result* lets one accounting object span several streams.
+        """
+        if result is None:
+            result = ComponentRunResult(
+                component=info.name.flatten_to_string(),
+                kind=info.kind,
+                campaign=campaign,
+            )
+        clock = self._device.clock
+        boots_before = self._device.boot_count
+        max_intents = config.max_intents_per_component
+        epilogue = self._injection_epilogue
+        for fuzz_intent in intents:
+            if max_intents is not None and result.sent >= max_intents:
+                break
+            outcome, dispatch = self._inject(info, fuzz_intent, result)
+            if observer is not None:
+                observer(info, fuzz_intent, outcome, dispatch)
+            if not epilogue(result, config, clock, boots_before):
+                break
+        return result
+
     def _fuzz_component_plain(
         self,
         info: ComponentInfo,
@@ -191,6 +236,7 @@ class FuzzerLibrary:
         clock = self._device.clock
         boots_before = self._device.boot_count
         max_intents = config.max_intents_per_component
+        epilogue = self._injection_epilogue
         for fuzz_intent in generate(
             campaign,
             seed=config.seed,
@@ -200,16 +246,7 @@ class FuzzerLibrary:
             if max_intents is not None and result.sent >= max_intents:
                 break
             self._inject(info, fuzz_intent, result)
-            if self.kill_switch is not None:
-                self.kill_switch.tick()
-            clock.sleep(config.intent_delay_ms)
-            if result.sent % config.batch_size == 0:
-                clock.sleep(config.batch_delay_ms)
-            if self._device.boot_count != boots_before:
-                result.rebooted = True
-                result.aborted = True
-                break
-            if result.quarantined:
+            if not epilogue(result, config, clock, boots_before):
                 break
 
     def _fuzz_component_instrumented(
@@ -267,11 +304,7 @@ class FuzzerLibrary:
         finished_append = finished.append
         next_id = tracer._ids.__next__
         inject = self._inject
-        kill_switch = self.kill_switch
-        sleep = clock.sleep
-        intent_delay_ms = config.intent_delay_ms
-        batch_delay_ms = config.batch_delay_ms
-        batch_size = config.batch_size
+        epilogue = self._injection_epilogue
         intent_stream = generate(
             campaign,
             seed=config.seed,
@@ -297,13 +330,22 @@ class FuzzerLibrary:
             sent_start = sent
             hb_mark = sent
             ring_len_start = len(finished)
+
+            def on_batch() -> None:
+                # Settle the heartbeat from the sent delta at each pacing
+                # batch boundary (the epilogue calls this at most once per
+                # batch, so it stays off the per-injection path).
+                nonlocal hb_mark
+                heartbeat.count_injections(result.sent - hb_mark)
+                hb_mark = result.sent
+
             try:
                 for fuzz_intent in intent_stream:
                     if sent >= max_intents:
                         break
                     start_wall = perf_counter()
                     start_virtual = clock._now_ms
-                    outcome = inject(info, fuzz_intent, result)
+                    outcome, _ = inject(info, fuzz_intent, result)
                     end_wall = perf_counter()
                     sent = result.sent
                     if sampling:
@@ -345,18 +387,7 @@ class FuzzerLibrary:
                             metrics, (campaign_value, package, outcome)
                         )
                         handle.pending += 1
-                    if kill_switch is not None:
-                        kill_switch.tick()
-                    sleep(intent_delay_ms)
-                    if sent % batch_size == 0:
-                        sleep(batch_delay_ms)
-                        heartbeat.count_injections(sent - hb_mark)
-                        hb_mark = sent
-                    if device.boot_count != boots_before:
-                        result.rebooted = True
-                        result.aborted = True
-                        break
-                    if result.quarantined:
+                    if not epilogue(result, config, clock, boots_before, on_batch):
                         break
             finally:
                 if sent != hb_mark:
@@ -420,7 +451,7 @@ class FuzzerLibrary:
                 start_virtual = now_ms()
                 profiler.enter("dispatch")
                 try:
-                    outcome = self._inject(info, fuzz_intent, result)
+                    outcome, _ = self._inject(info, fuzz_intent, result)
                 finally:
                     profiler.exit()
                 record_leaf(
@@ -438,22 +469,46 @@ class FuzzerLibrary:
                     )
                 handle.pending += 1
                 count_injection()
-                if self.kill_switch is not None:
-                    self.kill_switch.tick()
-                clock.sleep(config.intent_delay_ms)
-                if result.sent % config.batch_size == 0:
-                    clock.sleep(config.batch_delay_ms)
-                if self._device.boot_count != boots_before:
-                    result.rebooted = True
-                    result.aborted = True
+                if not self._injection_epilogue(result, config, clock, boots_before):
                     break
-                if result.quarantined:
-                    break
+
+    def _injection_epilogue(
+        self,
+        result: ComponentRunResult,
+        config: FuzzConfig,
+        clock,
+        boots_before: int,
+        on_batch: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """The per-injection tail every loop variant shares.
+
+        Kill-switch tick, the paper's pacing (intent delay plus the extra
+        batch delay every ``batch_size`` injections), reboot detection and
+        quarantine abort -- factored here so the plain, instrumented, and
+        profiled loop bodies (and the guided engine's stream loop) cannot
+        drift apart.  *on_batch* fires at most once per pacing batch; the
+        instrumented loop uses it to settle its heartbeat delta.  Returns
+        ``False`` when the component loop must stop.
+        """
+        if self.kill_switch is not None:
+            self.kill_switch.tick()
+        clock.sleep(config.intent_delay_ms)
+        if result.sent % config.batch_size == 0:
+            clock.sleep(config.batch_delay_ms)
+            if on_batch is not None:
+                on_batch()
+        if self._device.boot_count != boots_before:
+            result.rebooted = True
+            result.aborted = True
+            return False
+        return not result.quarantined
 
     def _inject(
         self, info: ComponentInfo, fuzz_intent: FuzzIntent, result: ComponentRunResult
-    ) -> str:
-        """Send one intent; returns the outcome label used by telemetry."""
+    ) -> Tuple[str, Optional[DispatchResult]]:
+        """Send one intent; returns the telemetry outcome label and the
+        dispatch result (``None`` for resolution failures and transport
+        losses) -- the guided engine fingerprints from the latter."""
         intent = fuzz_intent.build(info.name)
         am = self._device.activity_manager
         result.sent += 1
@@ -494,7 +549,7 @@ class FuzzerLibrary:
                     if self.quarantine.is_quarantined(info.package):
                         result.quarantined = True
                         result.aborted = True
-                    return "transport_failure"
+                    return "transport_failure", None
             else:
                 dispatch = send()
         except SecurityException:
@@ -524,7 +579,7 @@ class FuzzerLibrary:
             # The transaction completed (whatever the app did with it), so
             # the package's consecutive-transport-failure streak resets.
             self.quarantine.record_success(info.package)
-        return outcome
+        return outcome, dispatch
 
     # -- whole app ------------------------------------------------------------------
     def fuzz_app(

@@ -41,6 +41,9 @@ TRANSPORT_FAILURES = "qgj_transport_failures_total"
 QUARANTINED = "qgj_quarantined_packages_total"
 SHARD_RETRIES = "shard_retries_total"
 SHARDS_POISONED = "shards_poisoned"
+NOVEL_BEHAVIOURS = "novel_behaviours_total"
+CORPUS_SIZE = "behaviour_corpus_size"
+ARM_BUDGET = "guided_arm_budget_intents"
 
 #: Default histogram buckets, in virtual milliseconds, spanning the
 #: simulator's time constants (pacing .. ANR window .. stall cap .. boot).

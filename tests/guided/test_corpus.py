@@ -1,0 +1,173 @@
+"""Tests for the behaviour corpus: dedup, deterministic merge, persistence."""
+
+import pytest
+
+from repro.guided.corpus import (
+    BehaviorCorpus,
+    CorpusEntry,
+    admissible,
+    canonical_intent,
+    intent_from_wire,
+    intent_to_wire,
+)
+from repro.guided.fingerprint import BehaviorFingerprint
+from repro.qgj.campaigns import FuzzIntent
+
+
+def fp(component="pkg/cls", outcome="crash", exception="java.lang.NullPointerException"):
+    return BehaviorFingerprint(
+        component=component,
+        outcome=outcome,
+        exception=exception,
+        frame="pkg.cls.onCreate",
+        log_signature=exception,
+        lifecycle="calm",
+    )
+
+
+def entry(component="pkg/cls", action="android.intent.action.VIEW", **kwargs):
+    return CorpusEntry(
+        package="com.example",
+        campaign="A",
+        fingerprint=fp(component=component, **kwargs),
+        intent=FuzzIntent(action=action, data="tel:123"),
+    )
+
+
+class TestIntentWire:
+    def test_round_trip_preserves_everything(self):
+        intent = FuzzIntent(
+            action="a", data="d:1", extras=(("k", 1), ("n", None), ("f", 0.5))
+        )
+        assert intent_from_wire(intent_to_wire(intent)) == intent
+
+    def test_canonical_form_is_stable(self):
+        intent = FuzzIntent(action="a", data=None)
+        assert canonical_intent(intent) == canonical_intent(intent)
+
+
+class TestEntryValidation:
+    def test_rejects_non_wire_safe_extras(self):
+        with pytest.raises(ValueError, match="wire-safe"):
+            CorpusEntry(
+                package="p",
+                campaign="A",
+                fingerprint=fp(),
+                intent=FuzzIntent(action="a", data=None, extras=(("k", object()),)),
+            )
+
+    def test_rejects_empty_package(self):
+        with pytest.raises(ValueError):
+            CorpusEntry(
+                package="", campaign="A", fingerprint=fp(), intent=FuzzIntent(action="a", data=None)
+            )
+
+    def test_admissible_round_trips(self):
+        assert admissible(entry())
+
+
+class TestDedup:
+    def test_first_entry_is_novel(self):
+        corpus = BehaviorCorpus()
+        assert corpus.add(entry()) is True
+        assert len(corpus) == 1
+
+    def test_same_fingerprint_is_rejected(self):
+        corpus = BehaviorCorpus()
+        corpus.add(entry(action="android.intent.action.VIEW"))
+        assert corpus.add(entry(action="android.intent.action.DIAL")) is False
+        assert len(corpus) == 1
+
+    def test_contains_is_by_fingerprint(self):
+        corpus = BehaviorCorpus([entry()])
+        assert fp() in corpus
+        assert fp(component="other/cls") not in corpus
+
+    def test_entries_are_canonically_ordered(self):
+        a = entry(component="a/cls")
+        z = entry(component="z/cls")
+        assert BehaviorCorpus([z, a]).entries() == BehaviorCorpus([a, z]).entries()
+
+
+class TestMerge:
+    def test_union_is_order_independent(self):
+        left = BehaviorCorpus([entry(component="a/cls"), entry(component="b/cls")])
+        right = BehaviorCorpus([entry(component="b/cls"), entry(component="c/cls")])
+        ab = BehaviorCorpus.merge([left, right])
+        ba = BehaviorCorpus.merge([right, left])
+        assert ab.digest() == ba.digest()
+        assert len(ab) == 3
+
+    def test_fingerprint_tie_resolves_to_smallest_key(self):
+        # Two shards discover the same behaviour with different intents; the
+        # merge must pick one deterministically, whatever the input order.
+        first = entry(action="android.intent.action.DIAL")
+        second = entry(action="android.intent.action.VIEW")
+        merged_one = BehaviorCorpus.merge([BehaviorCorpus([first]), BehaviorCorpus([second])])
+        merged_two = BehaviorCorpus.merge([BehaviorCorpus([second]), BehaviorCorpus([first])])
+        assert merged_one.entries() == merged_two.entries()
+        winner = merged_one.entries()[0]
+        assert winner.sort_key() == min(first.sort_key(), second.sort_key())
+
+    def test_digest_reflects_content_not_history(self):
+        one = BehaviorCorpus([entry(component="a/cls")])
+        two = BehaviorCorpus()
+        two.add(entry(component="a/cls"))
+        two.add(entry(component="a/cls"))  # duplicate, rejected
+        assert one.digest() == two.digest()
+
+
+class TestEntriesFor:
+    def test_filters_by_package_and_campaign(self):
+        a = CorpusEntry(
+            package="p1", campaign="A", fingerprint=fp(component="x/1"),
+            intent=FuzzIntent(action="a", data=None),
+        )
+        b = CorpusEntry(
+            package="p1", campaign="B", fingerprint=fp(component="x/2"),
+            intent=FuzzIntent(action="b", data=None),
+        )
+        c = CorpusEntry(
+            package="p2", campaign="A", fingerprint=fp(component="x/3"),
+            intent=FuzzIntent(action="c", data=None),
+        )
+        corpus = BehaviorCorpus([a, b, c])
+        assert corpus.entries_for("p1") == [a, b]
+        assert corpus.entries_for("p1", "B") == [b]
+        assert corpus.entries_for("p3") == []
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        corpus = BehaviorCorpus([entry(component="a/cls"), entry(component="b/cls")])
+        path = str(tmp_path / "corpus.jsonl")
+        corpus.save(path, seed=7)
+        loaded = BehaviorCorpus.load(path)
+        assert loaded.digest() == corpus.digest()
+        assert loaded.entries() == corpus.entries()
+
+    def test_equal_corpora_serialize_byte_identically(self, tmp_path):
+        a = BehaviorCorpus([entry(component="a/cls"), entry(component="b/cls")])
+        b = BehaviorCorpus([entry(component="b/cls"), entry(component="a/cls")])
+        path_a, path_b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        a.save(path_a)
+        b.save(path_b)
+        with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_load_rejects_foreign_journal(self, tmp_path):
+        from repro.faults.journal import CheckpointJournal
+
+        path = str(tmp_path / "other.jsonl")
+        CheckpointJournal(path).start({"kind": "something-else"})
+        with pytest.raises(ValueError, match="not a behaviour corpus"):
+            BehaviorCorpus.load(path)
+
+    def test_load_tolerates_torn_tail(self, tmp_path):
+        corpus = BehaviorCorpus([entry(component="a/cls"), entry(component="b/cls")])
+        path = str(tmp_path / "corpus.jsonl")
+        corpus.save(path)
+        with open(path, "ab") as f:
+            f.write(b'{"type": "entry", "package": "torn')  # crash mid-write
+        loaded = BehaviorCorpus.load(path)
+        assert len(loaded) == 2

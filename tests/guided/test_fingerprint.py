@@ -1,0 +1,142 @@
+"""Tests for the behaviour fingerprint: the guided loop's novelty key."""
+
+from repro.android.activity_manager import DispatchResult
+from repro.android.jtypes import (
+    IllegalStateException,
+    NullPointerException,
+    frame,
+)
+from repro.guided.fingerprint import (
+    BehaviorFingerprint,
+    crash_signature,
+    fingerprint_injection,
+    lifecycle_state,
+    normalize_text,
+    throwable_signature,
+)
+from repro.qgj.triage import CrashSignature
+from repro.wear.device import WearDevice
+
+
+def npe(message="Attempt to invoke method on null reference at offset 1234"):
+    return NullPointerException(
+        message, frames=[frame("com.example.app.MainActivity", "onCreate", 42)]
+    )
+
+
+class TestNormalize:
+    def test_digits_collapse(self):
+        assert normalize_text("pid 4711 died at 0x7f3a") == "pid # died at #x#f#a"
+
+    def test_stable_for_text_without_digits(self):
+        assert normalize_text("no digits here") == "no digits here"
+
+
+class TestThrowableSignature:
+    def test_root_class_and_top_frame(self):
+        root, top, chain = throwable_signature(npe())
+        assert root == "java.lang.NullPointerException"
+        assert top == "com.example.app.MainActivity.onCreate"
+        assert chain == "java.lang.NullPointerException"
+
+    def test_chain_walks_causes_outer_first(self):
+        outer = IllegalStateException("wrapper", cause=npe())
+        root, top, chain = throwable_signature(outer)
+        assert root == "java.lang.NullPointerException"
+        assert chain == "java.lang.IllegalStateException>java.lang.NullPointerException"
+        assert top == "com.example.app.MainActivity.onCreate"
+
+    def test_messages_do_not_leak_into_signature(self):
+        a = throwable_signature(npe("ref 111 was null"))
+        b = throwable_signature(npe("ref 999 was null"))
+        assert a == b
+
+
+class TestLifecycle:
+    def test_fresh_device_is_calm(self):
+        assert lifecycle_state(WearDevice("fp-watch")) == "calm"
+
+    def test_bands_follow_aging_fraction(self):
+        watch = WearDevice("fp-watch")
+        threshold = watch.system_server.reboot_threshold
+        watch.system_server.aging.deposit(0.5 * threshold, "test")
+        assert lifecycle_state(watch) == "strained"
+        watch.system_server.aging.deposit(0.4 * threshold, "test")
+        assert lifecycle_state(watch) == "critical"
+
+
+class TestFingerprintInjection:
+    def test_crash_fingerprint_fields(self):
+        watch = WearDevice("fp-watch")
+        dispatch = DispatchResult(delivered=True, crashed=True, throwable=npe())
+        fp = fingerprint_injection("pkg/cls", "crash", dispatch, watch)
+        assert fp.component == "pkg/cls"
+        assert fp.outcome == "crash"
+        assert fp.exception == "java.lang.NullPointerException"
+        assert fp.frame == "com.example.app.MainActivity.onCreate"
+        assert fp.lifecycle == "calm"
+
+    def test_same_defect_different_payload_digits_dedup(self):
+        watch = WearDevice("fp-watch")
+        a = fingerprint_injection(
+            "pkg/cls",
+            "crash",
+            DispatchResult(delivered=True, crashed=True, throwable=npe("slot 3")),
+            watch,
+        )
+        b = fingerprint_injection(
+            "pkg/cls",
+            "crash",
+            DispatchResult(delivered=True, crashed=True, throwable=npe("slot 7")),
+            watch,
+        )
+        assert a == b
+
+    def test_reboot_overrides_outcome(self):
+        watch = WearDevice("fp-watch")
+        fp = fingerprint_injection("pkg/cls", "delivered", None, watch, rebooted=True)
+        assert fp.outcome == "reboot"
+
+    def test_non_crash_outcomes_fingerprint_by_label(self):
+        watch = WearDevice("fp-watch")
+        delivered = fingerprint_injection(
+            "pkg/cls", "delivered", DispatchResult(delivered=True), watch
+        )
+        denied = fingerprint_injection("pkg/cls", "security_exception", None, watch)
+        assert delivered != denied
+        assert denied.exception == ""
+
+    def test_anr_distinct_from_plain_delivery(self):
+        watch = WearDevice("fp-watch")
+        anr = fingerprint_injection(
+            "pkg/cls", "anr", DispatchResult(delivered=True, anr=True), watch
+        )
+        ok = fingerprint_injection(
+            "pkg/cls", "delivered", DispatchResult(delivered=True), watch
+        )
+        assert anr != ok
+
+    def test_tuple_round_trip(self):
+        watch = WearDevice("fp-watch")
+        fp = fingerprint_injection(
+            "pkg/cls",
+            "crash",
+            DispatchResult(delivered=True, crashed=True, throwable=npe()),
+            watch,
+        )
+        assert BehaviorFingerprint.from_tuple(fp.as_tuple()) == fp
+
+
+class TestCrashSignatureBridge:
+    def test_matches_triage_key(self):
+        signature = crash_signature("pkg/cls", npe())
+        assert isinstance(signature, CrashSignature)
+        assert signature == CrashSignature(
+            component="pkg/cls",
+            exception="java.lang.NullPointerException",
+            frame="com.example.app.MainActivity.onCreate",
+        )
+
+    def test_frameless_root_gets_placeholder(self):
+        signature = crash_signature("pkg/cls", NullPointerException("bare"))
+        assert signature.frame == "(unknown)"

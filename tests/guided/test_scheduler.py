@@ -1,0 +1,122 @@
+"""Tests for the bandit budget schedulers."""
+
+import pytest
+
+from repro.guided.scheduler import (
+    ArmState,
+    ThompsonScheduler,
+    UcbScheduler,
+    make_scheduler,
+)
+
+ARMS = [("p1", "A"), ("p1", "B"), ("p2", "A"), ("p2", "B")]
+
+
+class TestArmBookkeeping:
+    def test_update_accumulates(self):
+        scheduler = UcbScheduler(ARMS)
+        scheduler.update(("p1", "A"), intents=100, novel=7)
+        scheduler.update(("p1", "A"), intents=50, novel=1)
+        state = scheduler.states[("p1", "A")]
+        assert (state.plays, state.intents, state.novel) == (2, 150, 8)
+        assert state.rate == pytest.approx(8 / 150)
+
+    def test_duplicate_arms_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            UcbScheduler([("p", "A"), ("p", "A")])
+
+    def test_empty_arms_rejected(self):
+        with pytest.raises(ValueError):
+            UcbScheduler([])
+
+    def test_unplayed_rate_is_zero(self):
+        assert ArmState().rate == 0.0
+
+
+class TestAllocation:
+    def test_unplayed_arms_funded_first_in_arm_order(self):
+        scheduler = UcbScheduler(ARMS)
+        assert scheduler.allocate(2) == [("p1", "A"), ("p1", "B")]
+        scheduler.update(("p1", "A"), 10, 0)
+        scheduler.update(("p1", "B"), 10, 0)
+        # The remaining unplayed arms still jump the queue.
+        assert scheduler.allocate(2) == [("p2", "A"), ("p2", "B")]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            UcbScheduler(ARMS).allocate(0)
+
+    def test_ucb_prefers_novel_yielding_arm(self):
+        scheduler = UcbScheduler(ARMS, exploration=0.1)
+        for arm in ARMS:
+            scheduler.update(arm, 100, 20 if arm == ("p2", "A") else 0)
+        assert scheduler.allocate(1) == [("p2", "A")]
+
+    def test_ucb_exploration_revives_starved_arms(self):
+        # With a big exploration weight, a lightly-sampled arm outranks a
+        # heavily-sampled one of equal rate.
+        scheduler = UcbScheduler(ARMS, exploration=10.0)
+        scheduler.update(("p1", "A"), 10_000, 10)
+        for arm in ARMS[1:]:
+            scheduler.update(arm, 10, 0)
+        assert scheduler.allocate(1)[0] != ("p1", "A")
+
+    def test_ucb_ties_break_on_arm_order(self):
+        scheduler = UcbScheduler(ARMS, exploration=0.0)
+        for arm in ARMS:
+            scheduler.update(arm, 100, 0)
+        assert scheduler.allocate(4) == ARMS
+
+
+class TestThompson:
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            scheduler = ThompsonScheduler(ARMS, seed=seed)
+            picks = []
+            for _ in range(10):
+                chosen = scheduler.allocate(2)
+                picks.append(chosen)
+                for arm in chosen:
+                    scheduler.update(arm, 50, 1 if arm[0] == "p2" else 0)
+            return picks
+
+        assert run(7) == run(7)
+
+    def test_different_seeds_diverge(self):
+        def draws(seed):
+            scheduler = ThompsonScheduler(ARMS, seed=seed)
+            for arm in ARMS:
+                scheduler.update(arm, 50, 5)
+            return [tuple(scheduler.allocate(2)) for _ in range(10)]
+
+        assert draws(1) != draws(2)
+
+    def test_posterior_shifts_toward_novelty(self):
+        scheduler = ThompsonScheduler(ARMS, seed=0)
+        for arm in ARMS:
+            scheduler.update(arm, 100, 90 if arm == ("p1", "B") else 0)
+        wins = sum(scheduler.allocate(1) == [("p1", "B")] for _ in range(50))
+        assert wins > 40
+
+
+class TestSnapshotAndFactory:
+    def test_snapshot_is_sorted_and_json_able(self):
+        import json
+
+        scheduler = UcbScheduler(ARMS)
+        scheduler.update(("p2", "B"), 10, 2)
+        snapshot = scheduler.snapshot()
+        assert snapshot["kind"] == "ucb"
+        packages = [arm["package"] for arm in snapshot["arms"]]
+        assert packages == sorted(packages)
+        json.dumps(snapshot)  # must not raise
+
+    def test_factory_dispatches(self):
+        assert isinstance(make_scheduler("ucb", ARMS), UcbScheduler)
+        assert isinstance(make_scheduler("thompson", ARMS, seed=3), ThompsonScheduler)
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("greedy", ARMS)
+
+    def test_exploration_validated(self):
+        with pytest.raises(ValueError):
+            UcbScheduler(ARMS, exploration=-1.0)
