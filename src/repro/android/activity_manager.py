@@ -180,18 +180,26 @@ class ActivityManager:
             # overhead shaved off the per-injection path.
             handle.pending += 1
 
+    @property
+    def outermost_dispatch(self) -> bool:
+        """True outside any component lifecycle (the fuzzer's IPC edge)."""
+        return self._dispatch_depth == 0
+
     def _transport_fault_check(self) -> None:
-        """Fire a due binder transport fault on an *outermost* dispatch.
+        """Fire a due transport or OS-service fault on an *outermost* dispatch.
 
         The fuzzer's transaction into ``IActivityManager`` is the IPC edge
         the chaos plane severs; once a lifecycle is executing, nested
-        dispatches stay in-process and are not faulted here.
+        dispatches stay in-process and are not faulted here.  After the
+        transport check, the service boundary fires: outage windows,
+        system_server restarts, and missing-method compat mismatches.
         """
         if self._dispatch_depth > 0:
             return
         plane = self._device.runtime.faults
         if plane.armed:
             plane.on_transact(self._device.clock, "android.app.IActivityManager")
+            plane.on_system_service(self._device, "activity")
 
     # -- public API -----------------------------------------------------------------
     def start_activity(self, caller_package: str, intent: Intent) -> DispatchResult:

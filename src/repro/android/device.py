@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.android.activity_manager import ActivityManager
 from repro.android.clock import Clock
-from repro.android.log import TAG_BOOT, Logcat
+from repro.android.log import TAG_BOOT, TAG_SYSTEM, Logcat
 from repro.android.package_manager import PackageInfo, PackageManager
 from repro.android.permissions import PermissionManager
 from repro.android.process import ProcessTable
@@ -26,6 +26,10 @@ from repro.android.system_server import SystemServer
 
 #: Virtual time a reboot costs (boot animation and all).
 BOOT_DURATION_MS = 30_000.0
+
+#: Virtual time a system_server bounce costs -- services restart in place,
+#: far cheaper than a full reboot (no kernel, no boot animation).
+SYSTEM_RESTART_DOWNTIME_MS = 5_000.0
 
 #: Provider signature for named system services; receives the caller package.
 ServiceProvider = Callable[["Device", str], Any]
@@ -58,6 +62,7 @@ class Device:
         self.logcat = Logcat(self.clock, capacity=logcat_capacity, runtime=self.runtime)
         self.permissions = PermissionManager()
         self.packages = PackageManager(self.permissions)
+        self.packages.attach_device(self)
         self.processes = ProcessTable(self.clock, logcat=self.logcat, runtime=self.runtime)
         self.activity_manager = ActivityManager(
             device=self,
@@ -69,7 +74,9 @@ class Device:
         kwargs = {} if reboot_threshold is None else {"reboot_threshold": reboot_threshold}
         self.system_server = SystemServer(self, self.clock, self.logcat, **kwargs)
         self.activity_manager.add_health_hooks(self.system_server)
-        self.sensor_service = SensorService(self.processes, self.logcat)
+        self.sensor_service = SensorService(
+            self.processes, self.logcat, runtime=self.runtime, clock=self.clock
+        )
         self.system_server.attach_sensor_service(self.sensor_service)
         self._service_providers: Dict[str, ServiceProvider] = {}
         self.register_system_service("sensor", _sensor_service_provider)
@@ -114,6 +121,23 @@ class Device:
         self.boot_count += 1
         self._after_reboot()
         self.rebooting = False
+
+    def restart_system_server(self, reason: str) -> None:
+        """Bounce system_server in place (chaos plane's SYSTEM_RESTART).
+
+        Every service restarts and registered binders/listeners must
+        re-attach, but the device never goes down: no reboot marker, and
+        ``boot_count`` is untouched -- the paper's reboot counts and the
+        fuzzer's reboot handling only react to real reboots.
+        """
+        self.logcat.w(TAG_SYSTEM, f"system_server died: {reason}")
+        self.processes.clear()
+        self.activity_manager.reset_runtime_state()
+        self.activity_manager.foreground = None
+        self.clock.sleep(SYSTEM_RESTART_DOWNTIME_MS)
+        self.sensor_service.restart()
+        self.system_server.on_soft_restart(reason)
+        self._after_reboot()
 
     def _after_reboot(self) -> None:
         """Subclass hook: restart device-family specific services."""

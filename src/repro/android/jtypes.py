@@ -253,6 +253,10 @@ class StackOverflowError(Throwable):
     JAVA_NAME = "java.lang.StackOverflowError"
 
 
+class NoSuchMethodError(Throwable):
+    JAVA_NAME = "java.lang.NoSuchMethodError"
+
+
 #: Registry of every concrete throwable class keyed by its Java name, used by
 #: the log parser and by the app behaviour models.
 THROWABLE_CLASSES = {
@@ -281,6 +285,7 @@ THROWABLE_CLASSES = {
         NetworkOnMainThreadException,
         OutOfMemoryError,
         StackOverflowError,
+        NoSuchMethodError,
     )
 }
 

@@ -86,6 +86,12 @@ class PackageManager:
         self._packages: Dict[str, PackageInfo] = {}
         self._by_component: Dict[str, ComponentInfo] = {}
         self.permissions = permissions
+        #: Back-reference for the chaos plane's resolution hook; ``None``
+        #: for a manager constructed outside a device (unit tests).
+        self._device = None
+
+    def attach_device(self, device) -> None:
+        self._device = device
 
     # -- installation ---------------------------------------------------------
     def install(self, package: PackageInfo, grant_requested: bool = True) -> None:
@@ -141,7 +147,18 @@ class PackageManager:
         return [p for p in self._packages.values() if p.origin == origin]
 
     def resolve_component(self, name: ComponentName) -> Optional[ComponentInfo]:
-        """Explicit resolution: the exact component, or ``None``."""
+        """Explicit resolution: the exact component, or ``None``.
+
+        The fault plane's resolution hook fires here on outermost
+        dispatches only: resolution performed inside a running lifecycle
+        stays in-process, exactly like the activity manager's transport
+        boundary.
+        """
+        device = self._device
+        if device is not None:
+            plane = device.runtime.faults
+            if plane.armed and device.activity_manager.outermost_dispatch:
+                plane.on_resolve(device)
         return self._by_component.get(name.flatten_to_string())
 
     def all_components(

@@ -75,7 +75,9 @@ class _Listener:
 class SensorService:
     """The native sensor service process and its listener table."""
 
-    def __init__(self, processes: ProcessTable, logcat: Logcat) -> None:
+    def __init__(
+        self, processes: ProcessTable, logcat: Logcat, runtime=None, clock=None
+    ) -> None:
         self._processes = processes
         self._logcat = logcat
         self._sensors: Dict[int, Sensor] = {s.sensor_type: s for s in WEARABLE_SENSORS}
@@ -84,6 +86,9 @@ class SensorService:
             SENSOR_SERVICE_PROCESS, package="android", is_system=True, is_native=True
         )
         self._system_server: Optional["SystemServer"] = None
+        #: Chaos-plane access (``None`` for bare unit-test construction).
+        self._runtime = runtime
+        self._clock = clock
 
     def attach_system_server(self, system_server: "SystemServer") -> None:
         self._system_server = system_server
@@ -104,6 +109,31 @@ class SensorService:
             raise DeadObjectException("SensorService is dead")
         if sensor_type not in self._sensors:
             raise IllegalArgumentException(f"No sensor of type {sensor_type}")
+        # Registrations happen inside app lifecycles, so the chaos hook
+        # fires at any dispatch depth: a dead service mid-lifecycle is a
+        # genuine app-visible failure (the paper's first reboot started on
+        # exactly this path).  Corrupted replies silently drop or duplicate
+        # the registration.
+        if self._runtime is not None and self._clock is not None:
+            plane = self._runtime.faults
+            if plane.armed:
+                plane.check_service(self._clock, "sensor")
+                if plane.take_corruption(self._clock, "drop_listener"):
+                    self._logcat.w(
+                        TAG_SENSOR,
+                        f"dropped listener registration: {client_process}"
+                        f" -> type {sensor_type} (corrupted reply)",
+                        pid=self.process.pid,
+                    )
+                    return
+                if plane.take_corruption(self._clock, "dup_listener"):
+                    self._listeners.append(_Listener(client_process, sensor_type))
+                    self._logcat.w(
+                        TAG_SENSOR,
+                        f"duplicated listener registration: {client_process}"
+                        f" -> type {sensor_type} (corrupted reply)",
+                        pid=self.process.pid,
+                    )
         self._listeners.append(_Listener(client_process, sensor_type))
         self._logcat.d(
             TAG_SENSOR,

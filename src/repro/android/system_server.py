@@ -233,6 +233,21 @@ class SystemServer:
             SYSTEM_SERVER_PROCESS, package="android", is_system=True
         )
 
+    def on_soft_restart(self, reason: str) -> None:
+        """system_server bounced in place (fault injection, not a reboot).
+
+        Every service restarts and volatile health state resets -- the same
+        post-restart world :meth:`after_reboot` rebuilds -- but the device
+        itself never went down: no watchdog line, no reboot record, and the
+        boot count is untouched.
+        """
+        self._logcat.w(
+            TAG_SYSTEM,
+            f"system_server restarting: {reason}",
+            pid=self.process.pid,
+        )
+        self.after_reboot()
+
     # -- introspection ------------------------------------------------------------
     @property
     def reboot_count(self) -> int:

@@ -18,6 +18,11 @@ this reproduction is a simulator, each choice can be swept:
 * :func:`ablate_guided_vs_blind` -- at an equal intent budget, does the
   feedback-guided scheduler (:mod:`repro.guided`) reach at least the blind
   study's distinct crash buckets?
+* :func:`ablate_os_chaos` -- does the behavioural classification survive an
+  unreliable OS underneath?  Each fault family (transport, OS-service,
+  compat mismatch) runs alone and combined, at intervals aggressive enough
+  to bite a quick-scale run; infrastructure manifestations must stay in
+  their own counters while the app-level crash/reboot shape holds.
 """
 
 from __future__ import annotations
@@ -369,6 +374,123 @@ def ablate_guided_vs_blind(
             rounds=len(guided_result.rounds),
         ),
     ]
+
+
+@dataclasses.dataclass
+class OsChaosRow:
+    """Crash/reboot shape under one environment-fault family."""
+
+    scenario: str               # "baseline" | "transport" | "service" | "compat" | "all"
+    crashes_seen: int           # app-level crashes (the behavioural signal)
+    reboots: int                # full device reboots (boot_count - 1)
+    retries: int                # transient faults absorbed by the retry layer
+    transport_failures: int     # infra: injections lost after retries
+    compat_mismatches: int      # infra: version-gated rejections
+    quarantined: int            # packages the circuit breaker pulled
+
+
+#: Quick-scale fault intervals (virtual ms): a two-package quick run spans
+#: tens of virtual minutes, so the default chaos profile (faults every
+#: 10-180 virtual minutes) would barely fire.  These are 10-20x denser --
+#: aggressive enough that every family manifests, sparse enough that the
+#: campaigns still complete.
+_OS_CHAOS_SCENARIOS = {
+    "baseline": None,
+    "transport": dict(binder_every_ms=45_000.0, adb_drop_every_ms=240_000.0),
+    "service": dict(
+        service_outage_every_ms=90_000.0,
+        service_corrupt_every_ms=120_000.0,
+        system_restart_every_ms=600_000.0,
+    ),
+    "compat": dict(compat_mismatch_every_ms=60_000.0),
+    "all": dict(
+        binder_every_ms=45_000.0,
+        adb_drop_every_ms=240_000.0,
+        service_outage_every_ms=90_000.0,
+        service_corrupt_every_ms=120_000.0,
+        system_restart_every_ms=600_000.0,
+        compat_mismatch_every_ms=60_000.0,
+    ),
+}
+
+#: Scenarios whose compat stream should actually manifest (the others get
+#: no matrix, so even an armed compat stream stays inert).
+_OS_CHAOS_SKEWED = {"compat", "all"}
+
+
+def ablate_os_chaos(
+    seed: int = 7,
+    skew: int = 3,
+    packages: Sequence[str] = (HEART_RATE_PACKAGE, AMBIENT_BINDER_PACKAGE),
+) -> List[OsChaosRow]:
+    """Sweep the fault families the chaos plane can stack under a campaign.
+
+    The paper's measurements implicitly assume the OS under the fuzzer is
+    healthy; this sweep drops that assumption one family at a time.  The
+    property being checked is *separation*: transport and OS-service faults
+    are absorbed (retries) or surface as infrastructure counters, compat
+    mismatches land in their own counter, and none of them masquerade as
+    app-level crashes -- while faults that strike *inside* an app lifecycle
+    (a sensor outage mid-registration, a system_server bounce) legitimately
+    move the behavioural numbers, which is exactly the robustness cost the
+    row exposes.
+    """
+    from repro import faults
+
+    rows: List[OsChaosRow] = []
+    for scenario, intervals in _OS_CHAOS_SCENARIOS.items():
+        plan = None
+        if intervals is not None:
+            compat = (
+                faults.CompatMatrix.from_skew(skew)
+                if scenario in _OS_CHAOS_SKEWED
+                else None
+            )
+            plan = faults.FaultPlan(seed=seed, compat=compat, **intervals)
+        with faults.session(plan):
+            watch = _fresh_watch()
+            fuzzer = FuzzerLibrary(watch)
+            crashes = retries = failures = mismatches = 0
+            quarantined = set()
+            for package in packages:
+                for campaign in (Campaign.A, Campaign.D):
+                    result = fuzzer.fuzz_app(
+                        package, campaign, FuzzConfig(strides=_QUICK_STRIDES)
+                    )
+                    crashes += result.crashes_seen
+                    retries += result.retries
+                    failures += result.transport_failures
+                    mismatches += result.compat_mismatches
+                    if result.quarantined:
+                        quarantined.add(package)
+            rows.append(
+                OsChaosRow(
+                    scenario=scenario,
+                    crashes_seen=crashes,
+                    reboots=watch.boot_count - 1,
+                    retries=retries,
+                    transport_failures=failures,
+                    compat_mismatches=mismatches,
+                    quarantined=len(quarantined),
+                )
+            )
+    return rows
+
+
+def render_os_chaos_rows(rows: Sequence[OsChaosRow]) -> str:
+    lines = [
+        "ABLATION: OS chaos fault families",
+        "-" * 72,
+        f"{'scenario':>10} {'crashes':>8} {'reboots':>8} {'retries':>8} "
+        f"{'xport-fail':>10} {'compat':>7} {'quar':>5}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scenario:>10} {row.crashes_seen:>8} {row.reboots:>8} "
+            f"{row.retries:>8} {row.transport_failures:>10} "
+            f"{row.compat_mismatches:>7} {row.quarantined:>5}"
+        )
+    return "\n".join(lines)
 
 
 def render_guided_rows(rows: Sequence[GuidedAblationRow]) -> str:

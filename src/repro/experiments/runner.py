@@ -20,9 +20,18 @@ from repro.experiments.config import ExperimentConfig, by_name
 from repro.experiments.phone_experiment import PhoneStudyResult, run_phone_study
 from repro.experiments.ui_experiment import UiStudyResult, run_ui_study
 from repro.experiments.wear_experiment import WearStudyResult, run_wear_study
+import dataclasses
+
 from repro.farm.health import ShardPoisonedError, StudyInterrupted
 from repro.faults.errors import CampaignKilled
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import (
+    BASE_WEAR_API,
+    CHAOS_INTERVALS_MS,
+    CompatMatrix,
+    FaultKind,
+    FaultPlan,
+)
+from repro.faults.services import ServiceFaultPlan
 
 
 def _study_cache(fn):
@@ -141,6 +150,7 @@ USAGE = """\
 usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
                        [--telemetry-sample N] [--profile]
                        [--workers N] [--fault-seed N]
+                       [--service-fault-seed N] [--compat-skew N]
                        [--journal FILE | --resume FILE] [--kill-after N]
                        [--shard-timeout S] [--max-shard-attempts N]
                        [--allow-partial]
@@ -165,7 +175,17 @@ options:
                    processes (default: 1; the merged report is identical at
                    any N, even across worker crashes and retries)
   --fault-seed N   arm the chaos plane: inject seeded environment faults
-                   (adb drops, binder failures, lmkd kills, log truncation)
+                   (adb drops, binder failures, lmkd kills, log truncation,
+                   service outages, corrupted replies, system_server
+                   restarts)
+  --service-fault-seed N
+                   arm (only) the OS-service fault streams -- service
+                   unavailability windows, corrupted service replies,
+                   system_server restarts; composes with --fault-seed
+  --compat-skew N  pin the device pair's API levels N apart (phone behind
+                   the wearable): version-gated calls fail with
+                   NoSuchMethodError-style compat mismatches and data-sync
+                   replication degrades; 0 is a matched pair (no effect)
   --journal FILE   checkpoint the wear study to FILE after every
                    (package, campaign) segment; prints the study summary
   --resume FILE    resume a journalled wear study; reproduces the summary
@@ -186,7 +206,13 @@ options:
                    report: a bandit scheduler shifts the intent budget
                    toward (package, campaign) arms still yielding novel
                    behaviours; prints the guided report (byte-identical at
-                   any --workers count)
+                   any --workers count).  Composes with the chaos flags
+                   (--fault-seed / --service-fault-seed / --compat-skew);
+                   stays incompatible with --journal/--resume (guided
+                   rounds re-shard dynamically, so segment journals have
+                   no stable identity to resume), with --kill-after (it
+                   rides the journal), and with --json (the guided report
+                   has its own format)
   --corpus-dir DIR write corpus.jsonl and schedule.jsonl under DIR
                    (requires --guided)
   --scheduler NAME bandit policy: ucb (default) or thompson
@@ -225,6 +251,10 @@ def _build_parser() -> _ArgumentParser:
     parser.add_argument("--profile", dest="profile", action="store_true")
     parser.add_argument("--workers", type=int, default=1, metavar="N")
     parser.add_argument("--fault-seed", dest="fault_seed", type=int, metavar="N")
+    parser.add_argument(
+        "--service-fault-seed", dest="service_fault_seed", type=int, metavar="N"
+    )
+    parser.add_argument("--compat-skew", dest="compat_skew", type=int, metavar="N")
     checkpoint = parser.add_mutually_exclusive_group()
     checkpoint.add_argument("--journal", dest="journal_path", metavar="FILE")
     checkpoint.add_argument("--resume", dest="resume_path", metavar="FILE")
@@ -279,8 +309,32 @@ def main(argv=None) -> int:
         supervision_kwargs["max_shard_attempts"] = opts.max_shard_attempts
     if opts.allow_partial:
         supervision_kwargs["allow_partial"] = True
+    if opts.compat_skew is not None and not (
+        0 <= opts.compat_skew < BASE_WEAR_API
+    ):
+        print(
+            f"--compat-skew must be in [0, {BASE_WEAR_API - 1}], got "
+            f"{opts.compat_skew}\n{USAGE}",
+            file=sys.stderr,
+        )
+        return 2
+    # Compose the fault plan: --fault-seed arms every stream, then
+    # --service-fault-seed arms (or re-seeds onto) the OS-service streams,
+    # then --compat-skew pins the pair's API matrix on whatever is armed.
+    plan: Optional[FaultPlan] = None
     if opts.fault_seed is not None:
-        faults.install(FaultPlan.chaos(seed=opts.fault_seed))
+        plan = FaultPlan.chaos(seed=opts.fault_seed)
+    if opts.service_fault_seed is not None:
+        plan = ServiceFaultPlan(seed=opts.service_fault_seed).apply(plan)
+    if opts.compat_skew is not None:
+        base = plan if plan is not None else FaultPlan(seed=0)
+        plan = dataclasses.replace(
+            base,
+            compat=CompatMatrix.from_skew(opts.compat_skew),
+            compat_mismatch_every_ms=CHAOS_INTERVALS_MS[FaultKind.COMPAT_MISMATCH],
+        )
+    if plan is not None:
+        faults.install(plan)
     if opts.telemetry_sample < 1:
         print(
             f"--telemetry-sample must be >= 1, got {opts.telemetry_sample}\n{USAGE}",

@@ -63,7 +63,10 @@ LOG_PULL_RETRY = RetryPolicy(max_attempts=6, base_delay_ms=200.0, max_delay_ms=5
 #: Snapshot payload format version (bumped on incompatible layout changes).
 #: Version 2: per-shard snapshots; the class-global pid watermark is gone
 #: (pids are allocated per device) and the runtime context pickles empty.
-SNAPSHOT_VERSION = 2
+#: Version 3: PlanExecution carries OS-service/compat state (outage windows,
+#: pending corruptions and compat manifestations); older pickles lack the
+#: attributes and cannot resume under the widened fault model.
+SNAPSHOT_VERSION = 3
 
 
 @dataclasses.dataclass(frozen=True)

@@ -8,10 +8,13 @@ from app-level intent fuzzing.  This package brings both into the QGJ stack:
 
 * :mod:`repro.faults.plan` -- :class:`FaultPlan(seed=...)`: a deterministic,
   seeded schedule of adb session drops, binder transport failures, lmkd
-  process kills, and logcat truncation, on the virtual clock;
+  process kills, logcat truncation, OS-service outages/corruptions,
+  system_server restarts, and compat mismatches, on the virtual clock;
+* :mod:`repro.faults.services` -- the OS-service profile
+  (:class:`ServiceFaultPlan`) and its window constants;
 * :mod:`repro.faults.plane` -- the installed plane and its hook entry
   points in ``adb.py`` / ``binder.py`` / ``process.py`` /
-  ``activity_manager.py``;
+  ``activity_manager.py`` / ``package_manager.py`` / ``sensor.py``;
 * :mod:`repro.faults.retry` -- exponential backoff + seeded jitter for
   transient transport errors;
 * :mod:`repro.faults.quarantine` -- the per-package circuit breaker;
@@ -41,11 +44,17 @@ from repro.faults.errors import (
     TRANSIENT_ERRORS,
     AdbSessionDropped,
     CampaignKilled,
+    CompatMismatchError,
     InfrastructureError,
+    ServiceRestarted,
+    ServiceUnavailable,
+    StaleBinderReply,
 )
 from repro.faults.journal import CheckpointJournal, KillSwitch, SharedKillSwitch
 from repro.faults.plan import (
+    BASE_WEAR_API,
     CHAOS_INTERVALS_MS,
+    CompatMatrix,
     FaultEvent,
     FaultKind,
     FaultPlan,
@@ -54,12 +63,16 @@ from repro.faults.plan import (
 from repro.faults.plane import NOOP_PLANE, FaultPlane, NoopPlane
 from repro.faults.quarantine import CircuitBreaker, QuarantineEvent
 from repro.faults.retry import RetryPolicy
+from repro.faults.services import SERVICE_OUTAGE_WINDOW_MS, ServiceFaultPlan
 
 __all__ = [
     "AdbSessionDropped",
+    "BASE_WEAR_API",
     "CampaignKilled",
     "CheckpointJournal",
     "CircuitBreaker",
+    "CompatMatrix",
+    "CompatMismatchError",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
@@ -70,7 +83,12 @@ __all__ = [
     "PlanExecution",
     "QuarantineEvent",
     "RetryPolicy",
+    "SERVICE_OUTAGE_WINDOW_MS",
+    "ServiceFaultPlan",
+    "ServiceRestarted",
+    "ServiceUnavailable",
     "SharedKillSwitch",
+    "StaleBinderReply",
     "TRANSIENT_ERRORS",
     "enabled",
     "fingerprint",

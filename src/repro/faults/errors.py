@@ -11,7 +11,11 @@ keys on :data:`TRANSIENT_ERRORS`.
 
 from __future__ import annotations
 
-from repro.android.jtypes import DeadObjectException, TransactionTooLargeException
+from repro.android.jtypes import (
+    DeadObjectException,
+    NoSuchMethodError,
+    TransactionTooLargeException,
+)
 
 
 class InfrastructureError(Exception):
@@ -35,7 +39,68 @@ class CampaignKilled(InfrastructureError):
         self.injections = injections
 
 
+class ServiceUnavailable(DeadObjectException, InfrastructureError):
+    """A system service is inside an unavailability window.
+
+    Raised at the injection boundary while a ``SERVICE_OUTAGE`` window is
+    open for the named service.  Transient by construction: the window
+    closes on the virtual clock, so a retry that outlasts it succeeds.
+    """
+
+    def __init__(self, service: str, until_ms: float) -> None:
+        super().__init__(f"service {service} unavailable until t={until_ms:g}ms")
+        self.service = service
+        self.until_ms = until_ms
+
+
+class ServiceRestarted(DeadObjectException, InfrastructureError):
+    """system_server bounced; the caller's binder to it is dead.
+
+    The restart itself already happened by the time this is raised -- every
+    service has re-registered -- so the very next call succeeds.  Transient.
+    """
+
+    def __init__(self, service: str) -> None:
+        super().__init__(f"system_server restarted; binder to {service} died")
+        self.service = service
+
+
+class StaleBinderReply(DeadObjectException, InfrastructureError):
+    """A service returned a corrupted/stale parcel (``SERVICE_CORRUPT``).
+
+    Modeled after the package manager shipping a mangled ``ComponentInfo``:
+    the caller cannot use the reply and must re-query.  Transient.
+    """
+
+    def __init__(self, service: str, detail: str) -> None:
+        super().__init__(f"stale reply from {service}: {detail}")
+        self.service = service
+        self.detail = detail
+
+
+class CompatMismatchError(NoSuchMethodError, InfrastructureError):
+    """A version-gated call failed under a skewed phone/wear pair.
+
+    ``NoSuchMethodError``-style: the method simply does not exist on the
+    older half of the pair, so no amount of retrying helps.  Deliberately
+    NOT in :data:`TRANSIENT_ERRORS` -- the fuzzer classifies it as an
+    infrastructure outcome (never a paper-table app outcome) and lets the
+    per-package quarantine absorb a persistently mismatched pair.
+    """
+
+    def __init__(self, feature: str, required_api: int, effective_api: int) -> None:
+        super().__init__(
+            f"{feature} requires API {required_api}, pair pinned at {effective_api}"
+        )
+        self.feature = feature
+        self.required_api = required_api
+        self.effective_api = effective_api
+
+
 #: Exception classes the retry policy treats as transient transport faults.
+#: The service-fault family (ServiceUnavailable / ServiceRestarted /
+#: StaleBinderReply) subclasses DeadObjectException and is therefore
+#: transient without being listed; CompatMismatchError is deliberately not.
 TRANSIENT_ERRORS = (
     AdbSessionDropped,
     DeadObjectException,

@@ -1,0 +1,70 @@
+"""OS-service fault profile: system_server chaos riding the fault plane.
+
+The transport family (:mod:`repro.faults.plan`) models faults *between* the
+operator and the device; this module holds the profile for faults *inside*
+the OS, after Cotroneo et al.'s system-service fault dimensions:
+
+* ``SERVICE_OUTAGE`` -- one service (activity / package / sensor) goes
+  unavailable for :data:`SERVICE_OUTAGE_WINDOW_MS`; calls raise
+  :class:`~repro.faults.errors.ServiceUnavailable` until the window closes.
+* ``SERVICE_CORRUPT`` -- the next matching reply is corrupted: package
+  manager resolution raises :class:`~repro.faults.errors.StaleBinderReply`,
+  the sensor service silently drops or duplicates a listener registration.
+* ``SYSTEM_RESTART`` -- system_server bounces in place (no reboot):
+  every service restarts, listeners re-attach, and the caller whose
+  transaction triggered the drain sees
+  :class:`~repro.faults.errors.ServiceRestarted`.
+
+:class:`ServiceFaultPlan` is sugar: it arms exactly these three streams on
+a :class:`~repro.faults.plan.FaultPlan`, so the runner's
+``--service-fault-seed`` flag can compose with (or stand alone from)
+``--fault-seed`` without the caller hand-writing interval fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.faults.plan import CHAOS_INTERVALS_MS, FaultKind, FaultPlan
+
+#: How long one SERVICE_OUTAGE keeps its service down (virtual ms).  The
+#: default retry schedule (4 attempts, 50ms base, x2 backoff) sleeps ~350ms
+#: cumulative, so retries usually -- but not always -- outlast a window:
+#: most outages are absorbed as retries, a few surface as quarantine
+#: pressure, exactly the transient-fault texture the study wants.
+SERVICE_OUTAGE_WINDOW_MS = 400.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Seeded profile for the three OS-service streams.
+
+    ``None`` intervals fall back to the :data:`CHAOS_INTERVALS_MS` defaults;
+    an explicit interval overrides.  ``apply`` layers the profile onto an
+    existing transport plan (sharing its seed-derived streams per kind);
+    ``plan`` builds a standalone plan with only the service streams armed.
+    """
+
+    seed: int = 0
+    outage_every_ms: Optional[float] = None
+    corrupt_every_ms: Optional[float] = None
+    restart_every_ms: Optional[float] = None
+
+    def apply(self, base: Optional[FaultPlan] = None) -> FaultPlan:
+        """Arm the service streams on *base* (or a fresh plan of this seed)."""
+        if base is None:
+            base = FaultPlan(seed=self.seed)
+        return dataclasses.replace(
+            base,
+            service_outage_every_ms=self.outage_every_ms
+            or CHAOS_INTERVALS_MS[FaultKind.SERVICE_OUTAGE],
+            service_corrupt_every_ms=self.corrupt_every_ms
+            or CHAOS_INTERVALS_MS[FaultKind.SERVICE_CORRUPT],
+            system_restart_every_ms=self.restart_every_ms
+            or CHAOS_INTERVALS_MS[FaultKind.SYSTEM_RESTART],
+        )
+
+    def plan(self) -> FaultPlan:
+        """A standalone plan with only the OS-service streams armed."""
+        return self.apply(None)

@@ -251,9 +251,17 @@ def run_guided_study(
     # Imported here, not at module level: the farm's shard layer imports
     # the guided *engine* (to run guided shards), which initializes this
     # package -- a module-level farm import would close that cycle.
-    from repro.farm.partition import derive_seed
+    from repro import faults
+    from repro.farm.partition import derive_plan, derive_seed
     from repro.farm.pool import run_shards
     from repro.farm.shard import ShardSpec
+
+    # An armed fault plan rides into every round's shards exactly like the
+    # blind farm: re-seeded per package, so each package sees the same
+    # deterministic schedule whatever round (or worker) runs it -- shard
+    # devices start their virtual clocks at zero every round.
+    study_plane = faults.get()
+    base_plan = study_plane.plan if study_plane.armed else None
 
     app_corpus = build_wear_corpus(seed=config.corpus_seed)
     if packages is None:
@@ -328,6 +336,7 @@ def run_guided_study(
                 seed=derive_seed(config.corpus_seed ^ guided.seed, package),
                 pool_rate=guided.pool_rate,
             )
+            shard_seed = derive_seed(config.corpus_seed, package)
             specs.append(
                 ShardSpec(
                     study="guided",
@@ -336,7 +345,8 @@ def run_guided_study(
                     packages=(package,),
                     campaigns=(),
                     config=config,
-                    seed=derive_seed(config.corpus_seed, package),
+                    seed=shard_seed,
+                    plan=derive_plan(base_plan, shard_seed),
                     guided=task,
                 )
             )

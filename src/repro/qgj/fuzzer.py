@@ -29,7 +29,7 @@ from repro.android.activity_manager import DispatchResult
 from repro.android.component import ComponentInfo, ComponentKind
 from repro.android.device import Device
 from repro.android.jtypes import ActivityNotFoundException, SecurityException
-from repro.faults.errors import TRANSIENT_ERRORS
+from repro.faults.errors import TRANSIENT_ERRORS, CompatMismatchError
 from repro.faults.journal import KillSwitch
 from repro.faults.quarantine import CircuitBreaker
 from repro.faults.retry import RetryPolicy
@@ -537,6 +537,22 @@ class FuzzerLibrary:
                         on_retry=count_retry,
                         telemetry_handle=runtime.telemetry,
                     )
+                except CompatMismatchError as exc:
+                    # Version skew is permanent -- the retry policy never
+                    # sees it -- but it is still infrastructure, not app
+                    # behaviour: its own counter, its own outcome label,
+                    # and quarantine pressure so a persistently mismatched
+                    # pair stops burning campaign time.
+                    result.compat_mismatches += 1
+                    self.quarantine.record_failure(
+                        info.package,
+                        type(exc).__name__,
+                        telemetry_handle=runtime.telemetry,
+                    )
+                    if self.quarantine.is_quarantined(info.package):
+                        result.quarantined = True
+                        result.aborted = True
+                    return "compat_mismatch", None
                 except TRANSIENT_ERRORS as exc:
                     # Retries exhausted: an infrastructure loss, not an app
                     # behaviour -- kept out of the classification buckets.

@@ -39,6 +39,10 @@ class ComponentRunResult:
     transport_failures: int = 0
     #: Transient transport errors recovered by the retry layer.
     retries: int = 0
+    #: Version-gated calls rejected under a skewed phone/wear pair --
+    #: permanent infrastructure faults (never retried, never folded into
+    #: the behavioural classification).
+    compat_mismatches: int = 0
     #: True when the circuit breaker quarantined the package mid-component.
     quarantined: bool = False
 
@@ -84,6 +88,10 @@ class AppRunResult:
     @property
     def retries(self) -> int:
         return sum(c.retries for c in self.components)
+
+    @property
+    def compat_mismatches(self) -> int:
+        return sum(c.compat_mismatches for c in self.components)
 
 
 @dataclasses.dataclass
@@ -150,6 +158,10 @@ class FuzzSummary:
         return sum(app.retries for app in self.apps)
 
     @property
+    def total_compat_mismatches(self) -> int:
+        return sum(app.compat_mismatches for app in self.apps)
+
+    @property
     def quarantined_packages(self) -> List[str]:
         return sorted({app.package for app in self.apps if app.quarantined})
 
@@ -163,6 +175,7 @@ class FuzzSummary:
             "total_reboots": self.total_reboots,
             "total_transport_failures": self.total_transport_failures,
             "total_retries": self.total_retries,
+            "total_compat_mismatches": self.total_compat_mismatches,
             "quarantined_packages": self.quarantined_packages,
             "apps": [
                 {
@@ -191,6 +204,8 @@ class FuzzSummary:
         if self.total_retries or self.total_transport_failures:
             lines.append(f"  transport retries:   {self.total_retries}")
             lines.append(f"  transport failures:  {self.total_transport_failures}")
+        if self.total_compat_mismatches:
+            lines.append(f"  compat mismatches:   {self.total_compat_mismatches}")
         if self.quarantined_packages:
             lines.append(
                 f"  quarantined apps:    {', '.join(self.quarantined_packages)}"

@@ -35,6 +35,8 @@ UI_EVENTS = "ui_events_injected_total"
 UI_CRASHES = "ui_crashes_total"
 UI_EXCEPTIONS = "ui_exceptions_total"
 FAULTS_INJECTED = "env_faults_injected_total"
+SERVICE_FAULTS_INJECTED = "service_faults_injected_total"
+COMPAT_MISMATCHES = "compat_mismatches_total"
 RETRIES = "qgj_transport_retries_total"
 RETRY_BACKOFF = "qgj_retry_backoff_ms"
 TRANSPORT_FAILURES = "qgj_transport_failures_total"

@@ -1,0 +1,58 @@
+"""The API-compatibility plane: version gates for a skewed phone/wear pair.
+
+Liu et al. (*Automatically Detecting API-induced Compatibility Issues in
+Android Apps*) show that version skew between a device pair is a failure
+dimension of its own: a call that works on one half simply does not exist
+on the other.  This module pins that dimension onto the wearable network:
+a :class:`~repro.faults.plan.CompatMatrix` (carried on the
+:class:`~repro.faults.plan.FaultPlan`, so it is part of the fingerprint and
+shard re-seeding) pins the phone and wear API levels of one pair, and
+:func:`require_api` makes every version-gated call fail deterministically
+with :class:`~repro.faults.errors.CompatMismatchError` -- a
+``NoSuchMethodError``-style throwable the retry machinery deliberately does
+NOT treat as transient (no amount of retrying grows a method onto the older
+half).
+
+Two manifestations:
+
+* **missing method** -- version-gated entry points (:data:`API_SEND_REQUEST`
+  gates ``MessageClient.send_request``; the seeded ``COMPAT_MISMATCH``
+  stream surfaces the same class of failure at the activity-manager
+  boundary);
+* **behavioral delta** -- ``DataClient.put_data_item`` replication to the
+  peer silently degrades for app data paths (never the QGJ harness's own
+  ``/qgj/`` protocol -- both halves of the tool ship together).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.errors import CompatMismatchError
+from repro.faults.plan import BASE_WEAR_API, CompatMatrix
+
+__all__ = [
+    "API_SEND_REQUEST",
+    "BASE_WEAR_API",
+    "CompatMatrix",
+    "CompatMismatchError",
+    "require_api",
+]
+
+#: ``MessageClient.sendRequest`` (request/ack messaging) ships with the
+#: Wear 2.0 / API 25 SDK -- any skew below it loses the method.
+API_SEND_REQUEST = BASE_WEAR_API
+
+
+def require_api(
+    matrix: Optional[CompatMatrix], feature: str, api_level: int
+) -> None:
+    """Raise unless the *pair* (its older half) has *api_level*.
+
+    ``None`` means an unpinned, matched pair: every gate passes, so a run
+    with no matrix is byte-identical to one with a zero-skew matrix.
+    """
+    if matrix is None:
+        return
+    if matrix.effective_api < api_level:
+        raise CompatMismatchError(feature, api_level, matrix.effective_api)

@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.android.device import Device
 from repro.wear.ambient import AmbientService
+from repro.wear.compat import CompatMatrix
 from repro.wear.complications import ComplicationManager
 from repro.wear.fit import GoogleFitClient, GoogleFitService
 from repro.wear.node import BluetoothLink, DataClient, MessageClient, WearableNode
@@ -63,7 +64,7 @@ class PhoneDevice(Device):
         self.model = model
         self.screen_width = 1440
         self.screen_height = 2560
-        self.node = WearableNode(f"node-{name}", self.clock)
+        self.node = WearableNode(f"node-{name}", self.clock, runtime=self.runtime)
         self.register_system_service("wearable_message", _message_client_provider)
         self.register_system_service("wearable_data", _data_client_provider)
 
@@ -85,7 +86,7 @@ class WearDevice(Device):
         self.is_emulator = is_emulator
         self.screen_width = 400
         self.screen_height = 400
-        self.node = WearableNode(f"node-{name}", self.clock)
+        self.node = WearableNode(f"node-{name}", self.clock, runtime=self.runtime)
         self.ambient = AmbientService(self)
         self.fit_service = GoogleFitService(self.clock, self.sensor_service)
         self.complications = ComplicationManager()
@@ -105,14 +106,33 @@ class WearDevice(Device):
         return f"<WearDevice {self.name} ({flavour}, AW {self.wear_version}) boots={self.boot_count}>"
 
 
-def pair(phone: PhoneDevice, watch: WearDevice, latency_ms: float = 40.0) -> BluetoothLink:
+def pair(
+    phone: PhoneDevice,
+    watch: WearDevice,
+    latency_ms: float = 40.0,
+    compat: Optional[CompatMatrix] = None,
+) -> BluetoothLink:
     """Pair a phone and a watch over (virtual) Bluetooth.
 
     The two devices keep their own clocks in the simulator; pairing ties
     the link to the *watch* clock, which is the device under test and the
     one whose timeline every experiment reads.
+
+    *compat* pins the pair's API levels; when omitted, the watch's armed
+    fault plan supplies its matrix (if any), so ``--compat-skew`` reaches
+    every pair the study builds without threading a parameter through.
     """
-    link = BluetoothLink(phone.node, watch.node, latency_ms=latency_ms)
+    if compat is None:
+        plane = watch.runtime.faults
+        if plane.armed:
+            compat = plane.plan.compat
+    link = BluetoothLink(phone.node, watch.node, latency_ms=latency_ms, compat=compat)
     phone.logcat.i("WearableService", f"paired with {watch.node.node_id}")
     watch.logcat.i("WearableService", f"paired with {phone.node.node_id}")
+    if compat is not None and compat.skew > 0:
+        watch.logcat.w(
+            "WearableService",
+            f"API skew on pair: phone api{compat.phone_api}"
+            f" / wear api{compat.wear_api}",
+        )
     return link

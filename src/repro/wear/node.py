@@ -22,11 +22,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.android.clock import Clock
 from repro.android.jtypes import IllegalStateException
+from repro.android.runtime import RuntimeContext
+from repro.wear.compat import API_SEND_REQUEST, CompatMatrix, require_api
 
 #: Result codes mirrored from the Wearable API.
 SUCCESS = 0
 ERROR_DISCONNECTED = 4000
 ERROR_UNKNOWN_NODE = 4001
+
+#: QGJ's own protocol namespace on the DataAPI/MessageAPI.  Both halves of
+#: the harness ship together, so compat deltas never degrade these paths --
+#: degrading them would fail the *tool*, not the apps under study.
+HARNESS_PATH_PREFIX = "/qgj/"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,9 +73,16 @@ DataListener = Callable[[DataItem], None]
 class WearableNode:
     """One endpoint of the wearable network (a phone or a watch)."""
 
-    def __init__(self, node_id: str, clock: Clock) -> None:
+    def __init__(
+        self,
+        node_id: str,
+        clock: Clock,
+        runtime: Optional[RuntimeContext] = None,
+    ) -> None:
         self.node_id = NodeId(node_id)
         self.clock = clock
+        #: Chaos-plane access for compat deltas on this node's traffic.
+        self.runtime = runtime if runtime is not None else RuntimeContext()
         self._message_listeners: List[Tuple[str, MessageListener]] = []
         self._data_listeners: List[Tuple[str, DataListener]] = []
         self._data_items: Dict[str, DataItem] = {}
@@ -106,12 +120,20 @@ class WearableNode:
 class BluetoothLink:
     """A point-to-point link between a phone node and a watch node."""
 
-    def __init__(self, a: WearableNode, b: WearableNode, latency_ms: float = 40.0) -> None:
+    def __init__(
+        self,
+        a: WearableNode,
+        b: WearableNode,
+        latency_ms: float = 40.0,
+        compat: Optional[CompatMatrix] = None,
+    ) -> None:
         if a.node_id == b.node_id:
             raise ValueError("cannot link a node to itself")
         self.a = a
         self.b = b
         self.latency_ms = latency_ms
+        #: Pinned API levels of this pair (``None`` = matched pair).
+        self.compat = compat
         self.connected = True
         self.messages_carried = 0
         a.link = self
@@ -165,6 +187,21 @@ class MessageClient:
         )
         return SUCCESS
 
+    def send_request(self, target: NodeId, path: str, payload: bytes) -> int:
+        """Request/ack messaging (Wear 2.0 ``sendRequest``): version-gated.
+
+        On a skewed pair the method does not exist on the older half, so
+        the gate raises :class:`~repro.faults.errors.CompatMismatchError`
+        before any traffic moves.
+        """
+        link = self._node.link
+        require_api(
+            link.compat if link is not None else None,
+            "MessageClient.sendRequest",
+            API_SEND_REQUEST,
+        )
+        return self.send_message(target, path, payload)
+
 
 class DataClient:
     """DataAPI bound to one node: writes replicate to the peer."""
@@ -184,6 +221,14 @@ class DataClient:
         self._node.deliver_data(item)
         link = self._node.link
         if link is not None and link.connected:
+            if not path.startswith(HARNESS_PATH_PREFIX):
+                plane = self._node.runtime.faults
+                if plane.armed and plane.take_compat_delta(self._node.clock):
+                    # Behavioral delta: the skewed peer rejects the newer
+                    # serialization.  The local write sticks, replication
+                    # is dropped -- the caller sees a disconnected-style
+                    # status, exactly how the real API surfaces it.
+                    return ERROR_DISCONNECTED
             self._node.clock.sleep(link.latency_ms)
             link.peer_of(self._node).deliver_data(item)
             return SUCCESS

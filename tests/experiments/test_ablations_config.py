@@ -4,9 +4,11 @@ import pytest
 
 from repro.experiments.ablations import (
     AblationRow,
+    ablate_os_chaos,
     ablate_pacing,
     ablate_stride,
     ablate_wedge_deliveries,
+    render_os_chaos_rows,
     render_rows,
 )
 from repro.experiments.config import PAPER, QUICK, by_name
@@ -102,3 +104,39 @@ class TestVendorAblation:
         assert hardware.vendor_crashing_apps == 1
         assert emulator.vendor_crashing_apps == 0
         assert hardware.builtin_crashing_apps > emulator.builtin_crashing_apps
+
+
+class TestOsChaosAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablate_os_chaos()
+
+    def test_outcome_separation_holds_per_family(self, rows):
+        by_scenario = {row.scenario: row for row in rows}
+        baseline = by_scenario["baseline"]
+        # Infrastructure stays out of the behavioural signal: every fault
+        # family leaves the app-level crash and reboot shape untouched.
+        for scenario in ("transport", "service", "compat", "all"):
+            row = by_scenario[scenario]
+            assert row.crashes_seen == baseline.crashes_seen
+            assert row.reboots == baseline.reboots
+        # ...while each family shows up in its own counters.
+        assert by_scenario["baseline"].retries == 0
+        assert by_scenario["baseline"].compat_mismatches == 0
+        assert by_scenario["transport"].retries > 0
+        assert by_scenario["transport"].compat_mismatches == 0
+        assert (
+            by_scenario["service"].retries > 0
+            or by_scenario["service"].transport_failures > 0
+        )
+        assert by_scenario["compat"].compat_mismatches > 0
+        assert by_scenario["compat"].retries == 0
+        assert by_scenario["all"].compat_mismatches > 0
+
+    def test_sweep_is_deterministic(self, rows):
+        assert ablate_os_chaos() == rows
+
+    def test_render(self, rows):
+        text = render_os_chaos_rows(rows)
+        assert "OS chaos fault families" in text
+        assert "baseline" in text and "compat" in text

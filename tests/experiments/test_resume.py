@@ -5,6 +5,8 @@ campaign A deterministically triggers one device reboot -- the cheapest
 scope that still exercises the full reboot/recovery path.
 """
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -13,7 +15,7 @@ from repro.experiments import runner
 from repro.experiments.config import PAPER, QUICK
 from repro.experiments.wear_experiment import run_wear_study
 from repro.faults.errors import CampaignKilled
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import CHAOS_INTERVALS_MS, CompatMatrix, FaultKind, FaultPlan
 from repro.qgj.campaigns import Campaign
 
 PKG = "com.pulsetrack.wear"
@@ -27,6 +29,18 @@ PLAN = FaultPlan(
     binder_every_ms=8_000.0,
     lmkd_every_ms=30_000.0,
     logcat_truncate_every_ms=60_000.0,
+)
+
+#: The transport plan widened with the OS-service and compat families, at
+#: rates dense enough to manifest in-scope but sparse enough that compat
+#: rejections never trip the consecutive-failure quarantine threshold.
+OS_PLAN = dataclasses.replace(
+    PLAN,
+    service_outage_every_ms=30_000.0,
+    service_corrupt_every_ms=40_000.0,
+    system_restart_every_ms=120_000.0,
+    compat_mismatch_every_ms=60_000.0,
+    compat=CompatMatrix.from_skew(3),
 )
 
 
@@ -62,6 +76,28 @@ class TestKillAndResume:
             resumed = run_wear_study(QUICK, journal_path=journal, resume=True)
         assert _wire(resumed) == _wire(base)
         assert resumed.collector.reboots == base.collector.reboots
+        assert resumed.watch.clock.now_ms() == base.watch.clock.now_ms()
+
+    def test_resume_under_os_chaos_reproduces_the_summary(self, tmp_path):
+        # Same identity bar as the transport-only plan, with outage windows,
+        # corrupted replies, a possible system_server bounce, and compat
+        # mismatches in the snapshot/restore path (SNAPSHOT_VERSION 3 state).
+        campaigns = (Campaign.A, Campaign.B)
+        with faults.session(OS_PLAN):
+            base = run_wear_study(QUICK, packages=[PKG], campaigns=campaigns)
+        journal = str(tmp_path / "run.jsonl")
+        with faults.session(OS_PLAN):
+            with pytest.raises(CampaignKilled):
+                run_wear_study(
+                    QUICK,
+                    packages=[PKG],
+                    campaigns=campaigns,
+                    journal_path=journal,
+                    kill_after_injections=800,
+                )
+        with faults.session(OS_PLAN):
+            resumed = run_wear_study(QUICK, journal_path=journal, resume=True)
+        assert _wire(resumed) == _wire(base)
         assert resumed.watch.clock.now_ms() == base.watch.clock.now_ms()
 
     def test_kill_before_first_checkpoint_restarts_from_scratch(self, tmp_path):
@@ -165,6 +201,20 @@ class TestEmptyPlanIsNoPlan:
     @settings(max_examples=5, deadline=None)
     def test_empty_plan_matches_no_plan(self, seed, baseline):
         with faults.session(FaultPlan(seed=seed)):
+            armed = run_wear_study(QUICK, packages=[PKG], campaigns=(Campaign.A,))
+        assert _wire(armed) == _wire(baseline)
+        assert armed.watch.clock.now_ms() == baseline.watch.clock.now_ms()
+
+    def test_zero_skew_compat_stream_matches_no_plan(self, baseline):
+        # Stronger than the empty plan: the compat stream is *armed* and
+        # fires, but the matrix is matched, so every event drains silently
+        # and the run stays byte-identical to an unfaulted one.
+        plan = FaultPlan(
+            seed=0,
+            compat=CompatMatrix(),
+            compat_mismatch_every_ms=CHAOS_INTERVALS_MS[FaultKind.COMPAT_MISMATCH],
+        )
+        with faults.session(plan):
             armed = run_wear_study(QUICK, packages=[PKG], campaigns=(Campaign.A,))
         assert _wire(armed) == _wire(baseline)
         assert armed.watch.clock.now_ms() == baseline.watch.clock.now_ms()

@@ -85,6 +85,100 @@ class TestJsonCli:
         assert "wrote" in capsys.readouterr().out
 
 
+class TestOsChaosCli:
+    @pytest.fixture(autouse=True)
+    def _no_leaked_plane(self):
+        from repro import faults
+
+        yield
+        faults.uninstall()
+
+    def test_compat_skew_range_validated(self, capsys):
+        assert runner.main(["quick", "--compat-skew", "-1"]) == 2
+        assert "--compat-skew must be in" in capsys.readouterr().err
+        assert runner.main(["quick", "--compat-skew", "99"]) == 2
+
+    def test_service_fault_seed_arms_the_service_streams(self, monkeypatch):
+        from repro import faults
+        from repro.faults.plan import FaultKind
+
+        monkeypatch.setattr(runner, "full_report", lambda name: "REPORT")
+        assert runner.main(["quick", "--service-fault-seed", "5"]) == 0
+        plan = faults.get().plan
+        assert plan.seed == 5
+        assert plan.interval_for(FaultKind.SERVICE_OUTAGE) is not None
+        assert plan.interval_for(FaultKind.SYSTEM_RESTART) is not None
+        assert plan.interval_for(FaultKind.BINDER) is None  # transport off
+
+    def test_all_three_flags_compose_into_one_plan(self, monkeypatch):
+        from repro import faults
+        from repro.faults.plan import FaultKind
+
+        monkeypatch.setattr(runner, "full_report", lambda name: "REPORT")
+        assert (
+            runner.main(
+                [
+                    "quick",
+                    "--fault-seed",
+                    "7",
+                    "--service-fault-seed",
+                    "5",
+                    "--compat-skew",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        plan = faults.get().plan
+        assert plan.seed == 7  # the chaos base keeps its seed
+        for kind in FaultKind:
+            assert plan.interval_for(kind) is not None
+        assert plan.compat is not None and plan.compat.skew == 3
+
+    def test_compat_skew_alone_arms_only_the_compat_stream(self, monkeypatch):
+        from repro import faults
+        from repro.faults.plan import FaultKind
+
+        monkeypatch.setattr(runner, "full_report", lambda name: "REPORT")
+        assert runner.main(["quick", "--compat-skew", "2"]) == 0
+        plan = faults.get().plan
+        armed = {k for k in FaultKind if plan.interval_for(k) is not None}
+        assert armed == {FaultKind.COMPAT_MISMATCH}
+        assert plan.compat.skew == 2
+
+    def test_guided_composes_with_chaos_flags(self, monkeypatch, capsys):
+        # --guided used to reject --fault-seed outright; now the plan rides
+        # into the guided study (per-package derived plans, see study.py).
+        from repro import faults
+
+        calls = {}
+
+        def fake_guided(config, guided_config, **kwargs):
+            calls["fingerprint"] = faults.fingerprint()
+
+            class R:
+                def render(self):
+                    return "GUIDED REPORT"
+
+                def save(self, path):
+                    pass
+
+            return R()
+
+        monkeypatch.setattr(
+            "repro.guided.run_guided_study", fake_guided, raising=False
+        )
+        assert (
+            runner.main(
+                ["quick", "--guided", "--fault-seed", "7", "--compat-skew", "2"]
+            )
+            == 0
+        )
+        assert calls["fingerprint"] != "none"
+        assert "compat=23/25" in calls["fingerprint"]
+        assert "GUIDED REPORT" in capsys.readouterr().out
+
+
 class TestTelemetryCli:
     def test_sample_flag_requires_telemetry_dir(self, capsys):
         assert runner.main(["quick", "--telemetry-sample", "10"]) == 2

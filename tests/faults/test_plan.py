@@ -5,9 +5,15 @@ import pickle
 import pytest
 
 from repro.faults.plan import (
+    BASE_WEAR_API,
     BINDER_DEAD_OBJECT,
     BINDER_TOO_LARGE,
     CHAOS_INTERVALS_MS,
+    COMPAT_MISSING_METHOD,
+    COMPAT_SYNC_DELTA,
+    CORRUPTIONS,
+    OUTAGE_SERVICES,
+    CompatMatrix,
     FaultEvent,
     FaultKind,
     FaultPlan,
@@ -45,6 +51,74 @@ class TestFaultPlan:
 
     def test_fingerprint_is_stable(self):
         assert FaultPlan.chaos(seed=7).fingerprint() == FaultPlan.chaos(seed=7).fingerprint()
+
+
+class TestTaxonomyCoverage:
+    """Adding a ``FaultKind`` without wiring it everywhere must fail loudly."""
+
+    def test_chaos_intervals_cover_every_kind(self):
+        assert set(CHAOS_INTERVALS_MS) == set(FaultKind)
+
+    def test_interval_for_is_wired_for_every_kind(self):
+        chaos = FaultPlan.chaos(seed=0)
+        empty = FaultPlan()
+        for kind in FaultKind:
+            assert chaos.interval_for(kind) == CHAOS_INTERVALS_MS[kind]
+            assert empty.interval_for(kind) is None
+
+    def test_fingerprint_names_every_armed_kind(self):
+        fp = FaultPlan.chaos(seed=0).fingerprint()
+        for kind in FaultKind:
+            assert kind.value in fp
+
+    def test_execution_streams_exist_for_every_kind(self):
+        execution = PlanExecution(FaultPlan.chaos(seed=0))
+        assert set(execution.streams) == set(FaultKind)
+
+    def test_service_stream_params_cover_the_taxonomy(self):
+        plan = FaultPlan(
+            seed=1,
+            service_outage_every_ms=50.0,
+            service_corrupt_every_ms=50.0,
+            compat_mismatch_every_ms=50.0,
+        )
+        execution = PlanExecution(plan)
+        horizon = 50_000.0
+        outages = execution.take_due(FaultKind.SERVICE_OUTAGE, horizon)
+        corruptions = execution.take_due(FaultKind.SERVICE_CORRUPT, horizon)
+        mismatches = execution.take_due(FaultKind.COMPAT_MISMATCH, horizon)
+        assert {e.param for e in outages} == set(OUTAGE_SERVICES)
+        assert {e.param for e in corruptions} == set(CORRUPTIONS)
+        assert {e.param for e in mismatches} == {
+            COMPAT_MISSING_METHOD,
+            COMPAT_SYNC_DELTA,
+        }
+
+
+class TestCompatMatrix:
+    def test_from_skew_pins_the_phone_behind(self):
+        matrix = CompatMatrix.from_skew(3)
+        assert matrix.phone_api == BASE_WEAR_API - 3
+        assert matrix.wear_api == BASE_WEAR_API
+        assert matrix.skew == 3
+        assert matrix.effective_api == BASE_WEAR_API - 3
+
+    def test_zero_skew_is_a_matched_pair(self):
+        matrix = CompatMatrix.from_skew(0)
+        assert matrix.skew == 0
+        assert matrix.effective_api == BASE_WEAR_API
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompatMatrix.from_skew(-1)
+        with pytest.raises(ValueError):
+            CompatMatrix(phone_api=0)
+
+    def test_matrix_is_part_of_the_plan_fingerprint(self):
+        bare = FaultPlan(seed=1)
+        matched = FaultPlan(seed=1, compat=CompatMatrix())
+        skewed = FaultPlan(seed=1, compat=CompatMatrix.from_skew(2))
+        assert len({p.fingerprint() for p in (bare, matched, skewed)}) == 3
 
 
 class TestPlanExecution:

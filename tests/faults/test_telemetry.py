@@ -1,0 +1,76 @@
+"""Telemetry visibility of the OS-service and compat fault counters.
+
+The counters follow the plane's lazy-registration discipline: a series only
+exists once a fault actually fired, so a clean run's telemetry export stays
+byte-identical whether or not the new code paths are compiled in.
+"""
+
+import pytest
+
+from repro import faults, telemetry
+from repro.faults.plan import (
+    COMPAT_MISSING_METHOD,
+    CompatMatrix,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
+from repro.telemetry.exporters import render_prometheus
+from repro.telemetry.metrics import COMPAT_MISMATCHES, SERVICE_FAULTS_INJECTED
+from tests.faults.test_services import PKG, _device, _intent
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plane():
+    yield
+    faults.uninstall()
+
+
+def test_service_fault_counter_reaches_exports_and_dumpsys():
+    plan = FaultPlan(
+        seed=0, oneshots=(FaultEvent(5.0, FaultKind.SERVICE_OUTAGE, "activity"),)
+    )
+    with telemetry.session() as t:
+        with faults.session(plan):
+            device = _device()
+            device.clock.sleep(10.0)
+            with pytest.raises(Exception):
+                device.activity_manager.start_activity(PKG, _intent())
+            counter = t.metrics.get(SERVICE_FAULTS_INJECTED)
+            assert counter is not None
+            assert counter.total_where(kind="service_outage") == 1
+            prom = render_prometheus(t.metrics)
+            assert 'service_faults_injected_total{kind="service_outage"} 1' in prom
+            dumpsys = device.adb.shell("dumpsys telemetry --prometheus")
+            assert "service_faults_injected_total" in dumpsys.output
+
+
+def test_compat_counter_reaches_exports():
+    plan = FaultPlan(
+        seed=0,
+        compat=CompatMatrix.from_skew(2),
+        oneshots=(
+            FaultEvent(5.0, FaultKind.COMPAT_MISMATCH, COMPAT_MISSING_METHOD),
+        ),
+    )
+    with telemetry.session() as t:
+        with faults.session(plan):
+            device = _device()
+            device.clock.sleep(10.0)
+            with pytest.raises(Exception):
+                device.activity_manager.start_activity(PKG, _intent())
+            assert t.metrics.get(COMPAT_MISMATCHES).total() == 1
+            assert "compat_mismatches_total 1" in render_prometheus(t.metrics)
+
+
+def test_clean_run_registers_no_fault_series():
+    # Lazy registration: without a manifested fault the series must not
+    # exist, keeping clean-run exports byte-identical.
+    with telemetry.session() as t:
+        device = _device()
+        device.activity_manager.start_activity(PKG, _intent())
+        assert t.metrics.get(SERVICE_FAULTS_INJECTED) is None
+        assert t.metrics.get(COMPAT_MISMATCHES) is None
+        prom = render_prometheus(t.metrics)
+        assert "service_faults_injected_total" not in prom
+        assert "compat_mismatches_total" not in prom

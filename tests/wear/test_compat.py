@@ -1,0 +1,174 @@
+"""Tests for the phone/wear API-compatibility plane.
+
+A skewed :class:`CompatMatrix` pins the phone behind the wearable; the pair
+can only rely on the older half's API surface.  Version-gated calls fail at
+the injection boundary (``NoSuchMethodError``-style, permanent, never
+retried) and data-sync replication degrades -- but never on the harness's
+own ``/qgj/`` protocol paths, and never at zero skew.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults.errors import CompatMismatchError, InfrastructureError
+from repro.faults.plan import (
+    BASE_WEAR_API,
+    COMPAT_MISSING_METHOD,
+    COMPAT_SYNC_DELTA,
+    CompatMatrix,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
+from repro.android.jtypes import NoSuchMethodError
+from repro.wear.compat import API_SEND_REQUEST, require_api
+from repro.wear.device import PhoneDevice, WearDevice, pair
+from repro.wear.node import ERROR_DISCONNECTED, SUCCESS, DataClient, MessageClient
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plane():
+    yield
+    faults.uninstall()
+
+
+def _compat_plan(skew, param, at_ms=5.0):
+    return FaultPlan(
+        seed=0,
+        compat=CompatMatrix.from_skew(skew),
+        oneshots=(FaultEvent(at_ms, FaultKind.COMPAT_MISMATCH, param),),
+    )
+
+
+class TestRequireApi:
+    def test_no_matrix_passes(self):
+        require_api(None, "MessageClient.sendRequest", API_SEND_REQUEST)
+
+    def test_matched_pair_passes(self):
+        require_api(CompatMatrix(), "MessageClient.sendRequest", API_SEND_REQUEST)
+
+    def test_skewed_pair_raises_with_the_pinned_level(self):
+        matrix = CompatMatrix.from_skew(2)
+        with pytest.raises(CompatMismatchError) as exc_info:
+            require_api(matrix, "MessageClient.sendRequest", API_SEND_REQUEST)
+        exc = exc_info.value
+        assert exc.feature == "MessageClient.sendRequest"
+        assert exc.required_api == API_SEND_REQUEST
+        assert exc.effective_api == BASE_WEAR_API - 2
+        # The error is a Java-shaped throwable *and* infrastructure noise.
+        assert isinstance(exc, NoSuchMethodError)
+        assert isinstance(exc, InfrastructureError)
+
+
+class TestPairing:
+    def test_pair_picks_the_matrix_up_from_the_armed_plan(self):
+        plan = FaultPlan(seed=0, compat=CompatMatrix.from_skew(3))
+        with faults.session(plan):
+            phone, watch = PhoneDevice(), WearDevice()
+            link = pair(phone, watch)
+        assert link.compat == CompatMatrix.from_skew(3)
+        assert "API skew on pair" in watch.adb.logcat()
+
+    def test_matched_pair_logs_no_skew_warning(self):
+        phone, watch = PhoneDevice(), WearDevice()
+        link = pair(phone, watch, compat=CompatMatrix())
+        assert link.compat is not None
+        assert "API skew on pair" not in watch.adb.logcat()
+
+    def test_unarmed_pair_has_no_matrix(self):
+        link = pair(PhoneDevice(), WearDevice())
+        assert link.compat is None
+
+
+class TestSendRequestGate:
+    def test_skewed_link_rejects_before_any_traffic(self):
+        phone, watch = PhoneDevice(), WearDevice()
+        link = pair(phone, watch, compat=CompatMatrix.from_skew(1))
+        client = MessageClient(watch.node)
+        with pytest.raises(CompatMismatchError, match="sendRequest"):
+            client.send_request(phone.node.node_id, "/app/ping", b"x")
+        assert link.messages_carried == 0
+        # Plain fire-and-forget messaging predates the gate and still works.
+        assert client.send_message(phone.node.node_id, "/app/ping", b"x") == SUCCESS
+
+    def test_matched_link_passes_the_gate(self):
+        phone, watch = PhoneDevice(), WearDevice()
+        pair(phone, watch, compat=CompatMatrix())
+        client = MessageClient(watch.node)
+        assert client.send_request(phone.node.node_id, "/app/ping", b"x") == SUCCESS
+
+
+class TestSyncDelta:
+    def test_delta_drops_replication_but_keeps_the_local_write(self):
+        with faults.session(_compat_plan(3, COMPAT_SYNC_DELTA)):
+            phone, watch = PhoneDevice(), WearDevice()
+            pair(phone, watch)
+            watch.clock.sleep(10.0)
+            client = DataClient(watch.node)
+            assert client.put_data_item("/app/steps", {"n": 1}) == ERROR_DISCONNECTED
+            assert watch.node.get_data_item("/app/steps") is not None
+            assert phone.node.get_data_item("/app/steps") is None
+            # One-shot consumed: the next write replicates.
+            assert client.put_data_item("/app/steps", {"n": 2}) == SUCCESS
+            assert phone.node.get_data_item("/app/steps").data == {"n": 2}
+
+    def test_harness_paths_are_never_degraded(self):
+        with faults.session(_compat_plan(3, COMPAT_SYNC_DELTA)):
+            phone, watch = PhoneDevice(), WearDevice()
+            pair(phone, watch)
+            watch.clock.sleep(10.0)
+            client = DataClient(watch.node)
+            # The harness's own protocol traffic ignores the pending delta...
+            assert client.put_data_item("/qgj/summary", {"ok": True}) == SUCCESS
+            assert phone.node.get_data_item("/qgj/summary") is not None
+            # ...which stays pending and bites the next *app* write.
+            assert client.put_data_item("/app/x", {"n": 1}) == ERROR_DISCONNECTED
+
+    def test_zero_skew_stream_is_inert(self):
+        # The compat stream is armed and an event is due, but the matrix is
+        # matched: the event drains silently and replication is untouched.
+        with faults.session(_compat_plan(0, COMPAT_SYNC_DELTA)):
+            phone, watch = PhoneDevice(), WearDevice()
+            pair(phone, watch)
+            watch.clock.sleep(10.0)
+            client = DataClient(watch.node)
+            assert client.put_data_item("/app/steps", {"n": 1}) == SUCCESS
+            assert phone.node.get_data_item("/app/steps") is not None
+
+
+class TestMissingMethodManifestation:
+    def test_manifests_at_the_dispatch_boundary(self):
+        from repro.android.component import ComponentInfo, ComponentKind
+        from repro.android.intent import ComponentName, Intent, launcher_filter
+        from repro.android.package_manager import (
+            AppCategory,
+            AppOrigin,
+            PackageInfo,
+        )
+
+        pkg = "com.example.app"
+        with faults.session(_compat_plan(2, COMPAT_MISSING_METHOD)):
+            watch = WearDevice()
+            watch.install(
+                PackageInfo(
+                    package=pkg,
+                    label="Example",
+                    category=AppCategory.OTHER,
+                    origin=AppOrigin.THIRD_PARTY,
+                    components=[
+                        ComponentInfo(
+                            name=ComponentName(pkg, f"{pkg}.MainActivity"),
+                            kind=ComponentKind.ACTIVITY,
+                            intent_filters=[launcher_filter()],
+                        )
+                    ],
+                )
+            )
+            watch.clock.sleep(10.0)
+            intent = Intent(component=ComponentName(pkg, f"{pkg}.MainActivity"))
+            with pytest.raises(CompatMismatchError) as exc_info:
+                watch.activity_manager.start_activity(pkg, intent)
+            assert exc_info.value.feature == "ActivityManager.startRemoteActivity"
+            assert exc_info.value.effective_api == BASE_WEAR_API - 2
+            # Consumed: the same dispatch now goes through.
+            assert watch.activity_manager.start_activity(pkg, intent).delivered
