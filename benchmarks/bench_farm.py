@@ -5,7 +5,13 @@ Writes ``BENCH_farm.json`` at the repo root: full-report wall-clock at
 host's CPU count.  On a single-core host the sharded run is expected to be
 *slightly slower* than the serial one (process spawn + result pickling with
 zero parallel speedup); the point of recording it is honesty about where
-the crossover lies, not a victory lap.
+the crossover lies, not a victory lap.  ``--workers auto`` exists for
+exactly this host: it resolves to 1 and says so.
+
+The ``fleet`` section records the scaling story that *does* work on one
+core -- cooperative lane multiplexing (serial blocking shards vs lanes=8
+vs lanes=32 of the fleet kernel); see ``benchmarks/bench_fleet.py`` for
+the methodology and the CI-gated lanes=16 number.
 
 Run with: ``PYTHONPATH=src python benchmarks/bench_farm.py``
 """
@@ -16,6 +22,11 @@ import sys
 import time
 
 from repro.experiments.runner import full_report, phone_study, ui_study, wear_study
+
+try:  # script execution puts benchmarks/ itself on sys.path
+    from benchmarks.bench_fleet import measure as measure_fleet
+except ImportError:  # pragma: no cover - script-path fallback
+    from bench_fleet import measure as measure_fleet
 
 
 def _timed_report(config_name: str, workers: int) -> float:
@@ -41,6 +52,12 @@ def main() -> None:
             "workers4_s": sharded,
             "speedup": round(serial / sharded, 3),
         }
+    fleet = measure_fleet(lane_counts=(8, 32))
+    results["fleet"] = {
+        "fleet_size": fleet["fleet_size"],
+        "serial_pairs_per_sec": fleet["serial_pairs_per_sec"],
+        "lanes_pairs_per_sec": fleet["lanes_pairs_per_sec"],
+    }
     out = os.path.join(os.path.dirname(__file__), "..", "BENCH_farm.json")
     with open(out, "w") as fh:
         json.dump(results, fh, indent=2)

@@ -1,0 +1,125 @@
+"""Fleet-kernel throughput: blocking ``run_shard`` vs multiplexed lanes.
+
+Writes ``BENCH_fleet.json`` at the repo root.  The serial baseline is the
+pre-fleet execution model -- one blocking ``run_shard`` on a fresh device
+pair per pair, each paying its own corpus build, full 46-app install and
+study scaffolding.  The fleet rows run the same pairs through
+``run_fleet_study`` at several lane counts: one process, one shared
+read-only corpus, per-pair package-slice installs.
+
+The workload is population screening -- one intent per component of one
+package per pair -- because small per-pair budgets are the fleet kernel's
+home turf: the ROADMAP's population question needs many cheap pairs, and
+at small budgets the old model's per-pair setup dominates.  The CI gate
+asserts lanes=16 sustains >=3x the serial pairs/sec on the 1-core bench
+host; this script exits 1 when the gate fails.
+
+Run with: ``PYTHONPATH=src python benchmarks/bench_fleet.py``
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.apps.profiles import DEFAULT_COHORT_SPEC
+from repro.experiments.config import ExperimentConfig
+from repro.farm.shard import ShardSpec, run_shard
+from repro.fleet import plan_pairs, run_fleet_study
+from repro.fleet.lane import shared_corpus
+from repro.qgj.campaigns import Campaign
+from repro.qgj.fuzzer import FuzzConfig
+
+FLEET_SIZE = 96
+CAMPAIGNS = (Campaign.B,)
+GATE_LANES = 16
+GATE_MIN_SPEEDUP = 3.0
+
+BENCH_CONFIG = ExperimentConfig(
+    name="bench",
+    fuzz=FuzzConfig(stride=8, max_intents_per_component=1),
+    ui_events=0,
+)
+
+
+def measure(fleet_size: int = FLEET_SIZE, lane_counts=(8, GATE_LANES, 32)) -> dict:
+    """Measure serial and fleet pairs/sec over the same pair plan."""
+    shared_corpus.cache_clear()
+    corpus = shared_corpus(BENCH_CONFIG.corpus_seed)
+    packages = [app.package.package for app in corpus.apps]
+    pairs = plan_pairs(
+        fleet_size, DEFAULT_COHORT_SPEC, BENCH_CONFIG, packages, CAMPAIGNS
+    )
+
+    # Old model: every pair is its own wear shard on a fresh device pair
+    # (run_shard builds and installs its own full corpus each time).
+    start = time.perf_counter()
+    for spec in pairs:
+        run_shard(
+            ShardSpec(
+                study="wear",
+                index=spec.pair_id,
+                key=spec.packages[0],
+                packages=spec.packages,
+                campaigns=CAMPAIGNS,
+                config=BENCH_CONFIG,
+                seed=spec.seed,
+                plan=spec.plan,
+            )
+        )
+    serial_s = time.perf_counter() - start
+
+    lanes_pps = {}
+    for lanes in lane_counts:
+        shared_corpus.cache_clear()  # every packing pays its own corpus build
+        start = time.perf_counter()
+        run_fleet_study(
+            fleet_size, config=BENCH_CONFIG, lanes=lanes, campaigns=CAMPAIGNS
+        )
+        lanes_pps[str(lanes)] = round(
+            fleet_size / (time.perf_counter() - start), 1
+        )
+
+    serial_pps = round(fleet_size / serial_s, 1)
+    return {
+        "fleet_size": fleet_size,
+        "campaigns": [campaign.value for campaign in CAMPAIGNS],
+        "max_intents_per_component": BENCH_CONFIG.fuzz.max_intents_per_component,
+        "serial_pairs_per_sec": serial_pps,
+        "lanes_pairs_per_sec": lanes_pps,
+    }
+
+
+def main() -> int:
+    results = {
+        "bench": "fleet_kernel",
+        "cpu_count": os.cpu_count(),
+        **measure(),
+        "gate_lanes": GATE_LANES,
+        "gate_min_speedup": GATE_MIN_SPEEDUP,
+    }
+    speedup = round(
+        results["lanes_pairs_per_sec"][str(GATE_LANES)]
+        / results["serial_pairs_per_sec"],
+        2,
+    )
+    results["speedup_lanes16"] = speedup
+    results["gate_passed"] = speedup >= GATE_MIN_SPEEDUP
+    out = os.path.join(os.path.dirname(__file__), "..", "BENCH_fleet.json")
+    with open(out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    json.dump(results, sys.stdout, indent=2)
+    print()
+    if not results["gate_passed"]:
+        print(
+            f"FAIL: lanes={GATE_LANES} at {speedup}x serial, "
+            f"gate is {GATE_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -259,18 +259,29 @@ class Corpus:
     def apps_with_role(self, role: str) -> List[CorpusApp]:
         return [app for app in self.apps if role in app.roles]
 
-    def install(self, device: Device) -> None:
-        """Install every package and wire the behaviour factories."""
+    def install(self, device: Device, only: Optional[Sequence[str]] = None) -> None:
+        """Install every package (or just *only*) and wire the factories.
+
+        Installing never mutates the corpus itself -- spec factories are
+        registered *into the device's* activity manager and all runtime
+        state lives in per-device component instances -- so one built
+        corpus can be installed onto any number of devices.  The fleet
+        kernel leans on both halves: a lane builds the corpus once and
+        installs each pair's package slice from it.
+        """
+        wanted = None if only is None else set(only)
         self.registry.install(device.activity_manager)
         health_apps.register_health_factories(
             device.activity_manager, wedge_deliveries=self.wedge_deliveries
         )
         builtin_apps.google_fit_spec_key(self.registry, device.activity_manager)
         for package in self.packages():
-            device.install(package)
+            if wanted is None or package.package in wanted:
+                device.install(package)
         if isinstance(device, WearDevice):
             for app in self.apps_with_role("ambient_binder"):
-                device.ambient.expect_binder(app.package.package)
+                if wanted is None or app.package.package in wanted:
+                    device.ambient.expect_binder(app.package.package)
 
     def component_count(self) -> Tuple[int, int]:
         activities = sum(len(p.activities()) for p in self.packages())

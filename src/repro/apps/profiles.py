@@ -27,7 +27,7 @@ standing in for the app-store sampling the authors did.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.apps.behavior import Trigger
 
@@ -192,6 +192,161 @@ HEART_RATE_WEDGE_DELIVERIES = 25
 #: Consecutive crashes of the ambient-binder app that precede reboot #2
 #: (must reach the system server's crash-loop threshold with aging high).
 AMBIENT_CRASH_LOOP = 3
+
+
+# ---------------------------------------------------------------------------
+# Fleet cohorts: heterogeneous device-pair profiles.
+#
+# The single-pair studies replay the paper's exact Nexus 6 / Moto 360 test
+# bed.  The fleet kernel instead samples a *population*: each pair is drawn
+# from a cohort whose hardware tier parameterizes the existing simulator
+# knobs -- RAM pressure maps to an lmkd kill stream, OS skew to a
+# CompatMatrix, Bluetooth quality to pairing latency, battery health to an
+# ambient-mode duty cycle on the watch.  Profiles are pure data; the fleet
+# planner turns them into per-pair FaultPlans and pairing arguments.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceProfile:
+    """One cohort's hardware/OS configuration for a simulated pair."""
+
+    cohort: str
+    model: str
+    #: Memory tier; ``lmkd_every_ms`` is its observable consequence (mean
+    #: virtual-ms between low-memory kills; ``None`` = no pressure).
+    ram_tier: str
+    lmkd_every_ms: Optional[float]
+    #: OS/API levels on each half of the pair (skew arms the compat plane).
+    phone_api: int
+    wear_api: int
+    #: Battery state of health; drains on the *virtual* clock.
+    battery_start_pct: int
+    battery_drain_pct_per_hour: float
+    #: Ambient-mode duty cycle on the watch (virtual ms per full cycle;
+    #: ``None`` keeps the display interactive for the whole run).
+    ambient_cycle_ms: Optional[float]
+    #: Bluetooth link quality; ``latency_ms`` is what pairing consumes.
+    bt_quality: str
+    latency_ms: float
+
+    @property
+    def compat_skew(self) -> int:
+        return abs(self.phone_api - self.wear_api)
+
+
+#: The built-in cohort catalogue, keyed by the name ``--cohorts`` uses.
+FLEET_COHORTS: Dict[str, DeviceProfile] = {
+    "flagship": DeviceProfile(
+        cohort="flagship",
+        model="Pixel Watch",
+        ram_tier="high",
+        lmkd_every_ms=None,
+        phone_api=25,
+        wear_api=25,
+        battery_start_pct=100,
+        battery_drain_pct_per_hour=3.5,
+        ambient_cycle_ms=None,
+        bt_quality="good",
+        latency_ms=40.0,
+    ),
+    "budget": DeviceProfile(
+        cohort="budget",
+        model="Wear Lite X2",
+        ram_tier="low",
+        lmkd_every_ms=900_000.0,
+        phone_api=25,
+        wear_api=25,
+        battery_start_pct=90,
+        battery_drain_pct_per_hour=6.0,
+        ambient_cycle_ms=120_000.0,
+        bt_quality="fair",
+        latency_ms=80.0,
+    ),
+    "legacy": DeviceProfile(
+        cohort="legacy",
+        model="Moto 360",
+        ram_tier="mid",
+        lmkd_every_ms=1_500_000.0,
+        phone_api=23,
+        wear_api=25,
+        battery_start_pct=80,
+        battery_drain_pct_per_hour=5.0,
+        ambient_cycle_ms=180_000.0,
+        bt_quality="poor",
+        latency_ms=160.0,
+    ),
+    "aging": DeviceProfile(
+        cohort="aging",
+        model="Gear Prime",
+        ram_tier="low",
+        lmkd_every_ms=800_000.0,
+        phone_api=24,
+        wear_api=25,
+        battery_start_pct=60,
+        battery_drain_pct_per_hour=9.0,
+        ambient_cycle_ms=60_000.0,
+        bt_quality="fair",
+        latency_ms=80.0,
+    ),
+}
+
+#: Battery level below which the watch logs a low-battery warning and
+#: parks the display in ambient mode for the rest of the run.
+BATTERY_LOW_PCT = 15
+
+#: Default population mix for ``--fleet`` runs: every cohort, equal weight.
+DEFAULT_COHORT_SPEC = "flagship,budget,legacy,aging"
+
+
+def parse_cohort_spec(spec: str) -> Tuple[Tuple[str, int], ...]:
+    """Parse ``"flagship=2,budget,legacy=1"`` into ((name, weight), ...).
+
+    Order is preserved (it decides the pair-index -> cohort interleave);
+    a bare name means weight 1; names must exist in FLEET_COHORTS and may
+    not repeat.
+    """
+    parsed = []
+    seen = set()
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ValueError(f"empty cohort entry in spec: {spec!r}")
+        name, _, weight_text = chunk.partition("=")
+        name = name.strip()
+        if name not in FLEET_COHORTS:
+            known = ", ".join(sorted(FLEET_COHORTS))
+            raise ValueError(f"unknown cohort {name!r} (known: {known})")
+        if name in seen:
+            raise ValueError(f"cohort {name!r} listed twice in spec: {spec!r}")
+        seen.add(name)
+        if weight_text:
+            try:
+                weight = int(weight_text)
+            except ValueError:
+                raise ValueError(f"bad weight for cohort {name!r}: {weight_text!r}")
+            if weight < 1:
+                raise ValueError(f"cohort {name!r} weight must be >= 1, got {weight}")
+        else:
+            weight = 1
+        parsed.append((name, weight))
+    return tuple(parsed)
+
+
+def cohort_cycle(parsed: Tuple[Tuple[str, int], ...]) -> Tuple[str, ...]:
+    """Expand a parsed spec into the repeating pair-index -> cohort cycle."""
+    return tuple(name for name, weight in parsed for _ in range(weight))
+
+
+def profile_for_pair(parsed: Tuple[Tuple[str, int], ...], pair_index: int) -> DeviceProfile:
+    """The cohort profile of pair *pair_index* under a parsed spec.
+
+    Assignment depends only on the pair's global index, never on how pairs
+    are packed into lanes or workers -- the fleet determinism invariant
+    starts here.
+    """
+    cycle = cohort_cycle(parsed)
+    return FLEET_COHORTS[cycle[pair_index % len(cycle)]]
 
 
 def allocate_by_mix(mix: Dict[str, float], total: int) -> Dict[str, int]:

@@ -22,7 +22,9 @@ from repro.experiments.ui_experiment import UiStudyResult, run_ui_study
 from repro.experiments.wear_experiment import WearStudyResult, run_wear_study
 import dataclasses
 
+from repro.apps.profiles import DEFAULT_COHORT_SPEC, parse_cohort_spec
 from repro.farm.health import ShardPoisonedError, StudyInterrupted
+from repro.farm.pool import resolve_workers
 from repro.faults.errors import CampaignKilled
 from repro.faults.plan import (
     BASE_WEAR_API,
@@ -149,8 +151,9 @@ def export_json(
 USAGE = """\
 usage: python -m repro [quick|paper] [--json FILE] [--telemetry DIR]
                        [--telemetry-sample N] [--profile]
-                       [--workers N] [--fault-seed N]
+                       [--workers N|auto] [--fault-seed N]
                        [--service-fault-seed N] [--compat-skew N]
+                       [--fleet N] [--cohorts SPEC] [--lanes M]
                        [--journal FILE | --resume FILE] [--kill-after N]
                        [--shard-timeout S] [--max-shard-attempts N]
                        [--allow-partial]
@@ -171,9 +174,11 @@ options:
   --profile        arm the telemetry self-profiler: adds a SELF-PROFILE
                    section to summary.txt and writes a flamegraph-ready
                    profile.collapsed under DIR (requires --telemetry)
-  --workers N      shard the wear/phone studies across N supervised worker
-                   processes (default: 1; the merged report is identical at
-                   any N, even across worker crashes and retries)
+  --workers N|auto shard the studies across N supervised worker processes
+                   (default: 1; the merged report is identical at any N,
+                   even across worker crashes and retries); auto resolves
+                   to the core count, clamped to the units of work and to
+                   1 on a single-core host (with a one-line note)
   --fault-seed N   arm the chaos plane: inject seeded environment faults
                    (adb drops, binder failures, lmkd kills, log truncation,
                    service outages, corrupted replies, system_server
@@ -186,6 +191,18 @@ options:
                    the wearable): version-gated calls fail with
                    NoSuchMethodError-style compat mismatches and data-sync
                    replication degrades; 0 is a matched pair (no effect)
+  --fleet N        run the fleet study instead of the full report: N
+                   heterogeneous watch+phone pairs multiplexed through the
+                   cooperative virtual-clock kernel; prints the per-cohort
+                   population report (byte-identical at any --lanes x
+                   --workers packing).  Composes with the chaos flags,
+                   --guided, --journal/--resume/--kill-after, --telemetry
+  --cohorts SPEC   cohort cycle for --fleet, e.g. "flagship,budget:2,aging"
+                   (name[:weight], comma-separated; default
+                   "flagship,budget,legacy,aging"; requires --fleet)
+  --lanes M        cooperative schedulers per fleet, each multiplexing its
+                   strided share of the pairs (default: 1; requires
+                   --fleet; output is packing-invariant)
   --journal FILE   checkpoint the wear study to FILE after every
                    (package, campaign) segment; prints the study summary
   --resume FILE    resume a journalled wear study; reproduces the summary
@@ -249,7 +266,10 @@ def _build_parser() -> _ArgumentParser:
         "--telemetry-sample", dest="telemetry_sample", type=int, default=1, metavar="N"
     )
     parser.add_argument("--profile", dest="profile", action="store_true")
-    parser.add_argument("--workers", type=int, default=1, metavar="N")
+    parser.add_argument("--workers", default="1", metavar="N")
+    parser.add_argument("--fleet", dest="fleet", type=int, metavar="N")
+    parser.add_argument("--cohorts", dest="cohorts", metavar="SPEC")
+    parser.add_argument("--lanes", dest="lanes", type=int, metavar="M")
     parser.add_argument("--fault-seed", dest="fault_seed", type=int, metavar="N")
     parser.add_argument(
         "--service-fault-seed", dest="service_fault_seed", type=int, metavar="N"
@@ -287,9 +307,51 @@ def main(argv=None) -> int:
         return 2
     config_name = opts.config
     by_name(config_name)  # validate early
-    if opts.workers < 1:
-        print(f"--workers must be >= 1, got {opts.workers}\n{USAGE}", file=sys.stderr)
-        return 2
+    if opts.workers != "auto":
+        try:
+            workers_given = int(opts.workers)
+        except ValueError:
+            print(
+                f"--workers must be an integer or 'auto', got {opts.workers!r}"
+                f"\n{USAGE}",
+                file=sys.stderr,
+            )
+            return 2
+        if workers_given < 1:
+            print(
+                f"--workers must be >= 1, got {opts.workers}\n{USAGE}", file=sys.stderr
+            )
+            return 2
+    if opts.fleet is None:
+        for flag, value in (("--cohorts", opts.cohorts), ("--lanes", opts.lanes)):
+            if value is not None:
+                print(f"{flag} requires --fleet\n{USAGE}", file=sys.stderr)
+                return 2
+    else:
+        if opts.fleet < 1:
+            print(f"--fleet must be >= 1, got {opts.fleet}\n{USAGE}", file=sys.stderr)
+            return 2
+        if opts.lanes is not None and opts.lanes < 1:
+            print(f"--lanes must be >= 1, got {opts.lanes}\n{USAGE}", file=sys.stderr)
+            return 2
+        if opts.cohorts is not None:
+            try:
+                parse_cohort_spec(opts.cohorts)
+            except ValueError as exc:
+                print(f"--cohorts: {exc}\n{USAGE}", file=sys.stderr)
+                return 2
+        if opts.json_path is not None:
+            print(
+                f"--fleet cannot combine with --json (the fleet report has "
+                f"its own format)\n{USAGE}",
+                file=sys.stderr,
+            )
+            return 2
+    lanes = opts.lanes if opts.lanes is not None else 1
+    workers = resolve_workers(
+        opts.workers if opts.workers == "auto" else int(opts.workers),
+        units=lanes if opts.fleet is not None else None,
+    )
     if opts.shard_timeout is not None and opts.shard_timeout <= 0:
         print(
             f"--shard-timeout must be > 0, got {opts.shard_timeout}\n{USAGE}",
@@ -367,9 +429,14 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-        if opts.json_path is not None or opts.journal_path is not None or (
-            opts.resume_path is not None or opts.kill_after is not None
+        if opts.fleet is None and (
+            opts.json_path is not None
+            or opts.journal_path is not None
+            or opts.resume_path is not None
+            or opts.kill_after is not None
         ):
+            # A guided *fleet* journals fine: lane journals checkpoint whole
+            # pairs and the manifest records the guided knobs for resume.
             print(
                 f"--guided cannot combine with --json or checkpointing flags\n{USAGE}",
                 file=sys.stderr,
@@ -392,10 +459,72 @@ def main(argv=None) -> int:
         if journal is not None
         else ""
     )
+    fleet_active = opts.fleet is not None
+    if not fleet_active and opts.resume_path is not None:
+        # A bare ``--resume FILE`` must route a fleet manifest back to the
+        # fleet study; the header records which study wrote it.
+        from repro.farm import StudyManifest
+
+        try:
+            fleet_active = (
+                StudyManifest(opts.resume_path).header().get("study") == "fleet"
+            )
+        except (OSError, ValueError):
+            fleet_active = False  # let the wear path surface the real error
+    if fleet_active and opts.corpus_dir is not None:
+        print(
+            f"--corpus-dir cannot combine with --fleet (guided fleet pairs "
+            f"keep pair-local corpora)\n{USAGE}",
+            file=sys.stderr,
+        )
+        return 2
     healths = []
     try:
         try:
-            if opts.guided:
+            if fleet_active:
+                from repro.fleet import run_fleet_study
+
+                guided_config = None
+                if opts.guided:
+                    from repro.guided import GuidedConfig
+
+                    guided_config = GuidedConfig(
+                        scheduler=opts.scheduler or "ucb",
+                        budget=opts.guided_budget,
+                    )
+                if opts.kill_after is not None and journal is None:
+                    print(
+                        f"--kill-after needs --journal or --resume\n{USAGE}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                study_kwargs = dict(supervision_kwargs)
+                if journal is not None:
+                    study_kwargs["journal_path"] = journal
+                if opts.resume_path is not None:
+                    study_kwargs["resume"] = True
+                if opts.kill_after is not None:
+                    study_kwargs["kill_after_injections"] = opts.kill_after
+                result = run_fleet_study(
+                    opts.fleet if opts.fleet is not None else 0,
+                    config=by_name(config_name),
+                    cohorts=(
+                        opts.cohorts if opts.cohorts is not None else DEFAULT_COHORT_SPEC
+                    ),
+                    lanes=lanes,
+                    workers=workers,
+                    guided=guided_config,
+                    **study_kwargs,
+                )
+                if result.health is not None:
+                    healths.append(result.health)
+                print(result.render_report())
+                print(
+                    f"{result.intents_sent} intents across {result.fleet_size} "
+                    f"pairs in {result.lanes} lane(s), "
+                    f"{result.virtual_hours():.1f} virtual pair-hours"
+                )
+            elif opts.guided:
                 from repro.guided import GuidedConfig, run_guided_study
 
                 guided_config = GuidedConfig(
@@ -405,7 +534,7 @@ def main(argv=None) -> int:
                 result = run_guided_study(
                     by_name(config_name),
                     guided_config,
-                    workers=opts.workers,
+                    workers=workers,
                     telemetry_handle=handle,
                 )
                 if opts.corpus_dir is not None:
@@ -426,8 +555,8 @@ def main(argv=None) -> int:
                     study_kwargs["resume"] = True
                 if opts.kill_after is not None:
                     study_kwargs["kill_after_injections"] = opts.kill_after
-                if opts.workers != 1:
-                    study_kwargs["workers"] = opts.workers
+                if workers != 1:
+                    study_kwargs["workers"] = workers
                 result = wear_study(config_name, **study_kwargs)
                 if result.health is not None:
                     healths.append(result.health)
@@ -437,22 +566,22 @@ def main(argv=None) -> int:
                     f"{result.virtual_hours():.1f} virtual hours"
                 )
             elif opts.json_path is not None:
-                if opts.workers != 1 or supervision_kwargs:
+                if workers != 1 or supervision_kwargs:
                     export_json(
                         config_name,
                         path=opts.json_path,
-                        workers=opts.workers,
+                        workers=workers,
                         healths=healths,
                         **supervision_kwargs,
                     )
                 else:
                     export_json(config_name, path=opts.json_path)
                 print(f"wrote {opts.json_path}")
-            elif opts.workers != 1 or supervision_kwargs:
+            elif workers != 1 or supervision_kwargs:
                 print(
                     full_report(
                         config_name,
-                        workers=opts.workers,
+                        workers=workers,
                         healths=healths,
                         **supervision_kwargs,
                     )

@@ -57,9 +57,14 @@ from repro.farm.health import (
     WorkerHeartbeat,
 )
 from repro.farm.journal import StudyManifest
-from repro.farm.merge import absorb_telemetry, merge_collectors, merge_summaries
+from repro.farm.merge import (
+    absorb_telemetry,
+    merge_collectors,
+    merge_fleet,
+    merge_summaries,
+)
 from repro.farm.partition import derive_plan, derive_seed, plan_shards, shard_packages
-from repro.farm.pool import run_shards
+from repro.farm.pool import resolve_workers, run_shards
 from repro.farm.shard import ShardResult, ShardSpec, run_shard
 from repro.farm.supervisor import (
     DEFAULT_POLICY,
@@ -86,8 +91,10 @@ __all__ = [
     "derive_plan",
     "derive_seed",
     "merge_collectors",
+    "merge_fleet",
     "merge_summaries",
     "plan_shards",
+    "resolve_workers",
     "run_shard",
     "run_shards",
     "shard_packages",

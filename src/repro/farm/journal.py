@@ -19,7 +19,7 @@ wall-clock bookkeeping in the bench artifacts lie.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.faults.journal import CheckpointJournal
 
@@ -45,28 +45,35 @@ class StudyManifest:
         campaigns: Sequence[str],
         workers: int,
         shards: Sequence[Any],
+        extra: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Write the manifest header (truncating any previous manifest)."""
-        self._journal.start(
-            {
-                "kind": "study-manifest",
-                "manifest_version": MANIFEST_VERSION,
-                "config": config,
-                "fault_fingerprint": fault_fingerprint,
-                "packages": list(packages),
-                "campaigns": list(campaigns),
-                "workers": workers,
-                "shards": [
-                    {
-                        "index": spec.index,
-                        "key": spec.key,
-                        "packages": list(spec.packages),
-                        "journal": self.shard_journal_path(spec.index),
-                    }
-                    for spec in shards
-                ],
-            }
-        )
+        """Write the manifest header (truncating any previous manifest).
+
+        *extra* carries study-kind specific facts (the fleet study records
+        its fleet size, cohort spec and lane count here) so a resume can
+        rebuild the exact plan without the operator repeating the flags.
+        """
+        header = {
+            "kind": "study-manifest",
+            "manifest_version": MANIFEST_VERSION,
+            "config": config,
+            "fault_fingerprint": fault_fingerprint,
+            "packages": list(packages),
+            "campaigns": list(campaigns),
+            "workers": workers,
+            "shards": [
+                {
+                    "index": spec.index,
+                    "key": spec.key,
+                    "packages": list(spec.packages),
+                    "journal": self.shard_journal_path(spec.index),
+                }
+                for spec in shards
+            ],
+        }
+        if extra:
+            header.update(extra)
+        self._journal.start(header)
 
     def header(self) -> Dict[str, Any]:
         return self._journal.header()

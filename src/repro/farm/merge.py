@@ -18,11 +18,14 @@ coverage they dropped.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.analysis.manifest import StudyCollector
 from repro.farm.shard import ShardResult
 from repro.qgj.results import FuzzSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.fleet.pairs import PairSummary
 
 
 def _present(results: Sequence[Optional[ShardResult]]) -> List[ShardResult]:
@@ -35,6 +38,25 @@ def merge_summaries(results: Sequence[Optional[ShardResult]]) -> FuzzSummary:
 
 def merge_collectors(results: Sequence[Optional[ShardResult]]) -> StudyCollector:
     return StudyCollector.merge([result.collector for result in _present(results)])
+
+
+def merge_fleet(results: Sequence[Optional[ShardResult]]) -> List["PairSummary"]:
+    """Flatten lane results into one fleet, ordered by pair id.
+
+    Re-ordering by the pair's global id -- never by lane or completion
+    order -- is what makes the merged fleet byte-identical at any
+    (lanes x workers) packing: the same pairs produce the same summaries,
+    and this is the only place their order is decided.
+    """
+    summaries: List["PairSummary"] = []
+    seen = set()
+    for result in _present(results):
+        for summary in result.fleet or ():
+            if summary.pair_id in seen:
+                raise ValueError(f"pair {summary.pair_id} reported by two lanes")
+            seen.add(summary.pair_id)
+            summaries.append(summary)
+    return sorted(summaries, key=lambda summary: summary.pair_id)
 
 
 def absorb_telemetry(handle, results: Sequence[Optional[ShardResult]]) -> None:

@@ -24,8 +24,10 @@ shard-ordered concatenation.
 
 from __future__ import annotations
 
+import os
+import sys
 import traceback
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.farm.health import ShardFailedError, ShardFailure, ShardPoisonedError
 from repro.farm.shard import ShardResult, ShardSpec, run_shard
@@ -35,6 +37,39 @@ from repro.faults.journal import KillSwitch
 
 def _pool_context():
     return mp_context()
+
+
+def resolve_workers(workers: Union[int, str], units: Optional[int] = None) -> int:
+    """Resolve a ``--workers`` value (``"auto"`` or an int) to a count.
+
+    ``auto`` asks for one worker per available core, but never more workers
+    than there are *units* of work (shards or lanes) -- extra processes
+    would only sit idle -- and falls back to ``1`` on a single-core host,
+    where process fan-out costs more than it buys.  Both clamps print a
+    one-line note so bench numbers are never silently sequential.
+    """
+    if workers == "auto":
+        cores = os.cpu_count() or 1
+        resolved = cores
+        if units is not None:
+            resolved = min(resolved, max(units, 1))
+        if resolved <= 1:
+            reason = (
+                f"only {units} unit(s) of work"
+                if cores > 1
+                else f"cpu_count={cores}"
+            )
+            print(
+                f"[farm] --workers auto resolved to 1 ({reason}); "
+                "running sequentially in-process",
+                file=sys.stderr,
+            )
+            return 1
+        return resolved
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return count
 
 
 def _run_shard_guarded(spec: ShardSpec):

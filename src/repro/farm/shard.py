@@ -55,6 +55,7 @@ from repro.wear.device import PhoneDevice, WearDevice, pair
 
 if TYPE_CHECKING:  # pragma: no cover - avoids the experiments<->farm cycle
     from repro.experiments.config import ExperimentConfig
+    from repro.fleet.pairs import PairSpec, PairSummary
 
 #: Backoff for the operator-side adb calls (log pull / clear between
 #: segments); injection-side retries are the fuzzer's own policy.
@@ -99,6 +100,9 @@ class ShardSpec:
     #: One package's round slice for ``study == "guided"`` (blocks, pool,
     #: known fingerprints); ``None`` for the blind studies.
     guided: Optional[GuidedTask] = None
+    #: One lane's pair slice for ``study == "fleet"`` (see
+    #: :mod:`repro.fleet`); ``None`` for the single-pair studies.
+    fleet: Optional[Tuple["PairSpec", ...]] = None
 
 
 @dataclasses.dataclass
@@ -122,6 +126,8 @@ class ShardResult:
     profile: Optional[dict] = None
     #: Block outcomes for a guided shard (``None`` for the blind studies).
     guided: Optional[List[BlockOutcome]] = None
+    #: Completed pair summaries for a fleet lane shard.
+    fleet: Optional[List["PairSummary"]] = None
 
 
 def _fresh_handle(spec: ShardSpec) -> Telemetry:
@@ -198,6 +204,8 @@ def run_shard(
         result = _run_phone_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt)
     elif spec.study == "guided":
         result = _run_guided_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attempt)
+    elif spec.study == "fleet":
+        result = _run_fleet_shard(spec, handle, kill_switch, heartbeat, attempt)
     else:
         raise ValueError(f"unknown shard study kind: {spec.study!r}")
     if owns_handle and handle.enabled:
@@ -420,6 +428,43 @@ def _run_guided_shard(spec, handle, plane, runtime, kill_switch, heartbeat, atte
         phone=phone,
         clock_ms=watch.clock.now_ms(),
         guided=outcomes,
+    )
+
+
+def _run_fleet_shard(spec, handle, kill_switch, heartbeat, attempt) -> ShardResult:
+    """One fleet lane: a cooperative scheduler multiplexing many pairs.
+
+    The lane -- not the pair -- is the farm's unit of distribution, so
+    supervision (deadline, heartbeat liveness, retry-with-resume, poison
+    quarantine) rides along unchanged.  Each pair builds its own scoped
+    fault plane from its spec; the shard-level ``spec.plan`` is unused
+    here by design.
+    """
+    from repro.fleet.lane import run_lane  # deferred: farm <-> fleet cycle
+
+    if spec.fleet is None:
+        raise ValueError("fleet shard needs a pair slice on spec.fleet")
+    crash = _crash_policy(spec)
+    if crash is not None and crash.triggers(attempt, 0):
+        crash.fire(spec.key, attempt, 0)
+    summaries = run_lane(
+        spec.fleet,
+        lane_index=spec.index,
+        journal_path=spec.journal_path,
+        resume=spec.resume,
+        kill_switch=kill_switch,
+        telemetry_handle=handle,
+        heartbeat=heartbeat,
+    )
+    return ShardResult(
+        index=spec.index,
+        key=spec.key,
+        summary=FuzzSummary(device=spec.key),
+        collector=StudyCollector([]),
+        watch=None,
+        phone=None,
+        clock_ms=sum(s.clock_ms for s in summaries),
+        fleet=summaries,
     )
 
 

@@ -1,0 +1,51 @@
+"""The fleet kernel: many simulated device pairs per worker.
+
+The farm (:mod:`repro.farm`) scales the study by giving every shard its
+own *process-blocking* device pair; a worker can hold exactly one pair at
+a time.  The fleet kernel removes that ceiling: device time is virtual, so
+a single worker can multiplex hundreds of pairs by always advancing
+whichever pair has the earliest next virtual deadline
+(:class:`~repro.android.clock.FleetScheduler`).  The pair stays the unit
+of simulation, the *lane* (one scheduler's slice of pairs) becomes the
+unit of distribution, and heterogeneous :mod:`cohorts
+<repro.apps.profiles>` make the population worth studying: RAM tiers, OS
+skews, battery/ambient cycles, and Bluetooth quality all parameterize the
+pairs.
+
+Layers, bottom up:
+
+* :mod:`repro.fleet.pairs` -- :class:`PairSpec` / :class:`PairSummary`
+  and :func:`pair_task`, the cooperative generator that runs one pair;
+* :mod:`repro.fleet.plan` -- cohort-composed fault plans, pair planning
+  keyed on the global pair id, strided lane packing;
+* :mod:`repro.fleet.lane` -- :func:`run_lane`: one scheduler, one
+  checkpoint journal, one heartbeat, shared read-only corpus;
+* :mod:`repro.fleet.study` -- :func:`run_fleet_study`: supervise lanes
+  through the farm, merge by pair id, report per-cohort crash rates.
+
+Determinism contract: a pair's summary is a pure function of its spec, so
+the merged fleet is byte-identical at any ``(lanes x workers)`` packing,
+and a single-pair blocking run is reproduced exactly by a one-entry
+scheduler (the trampoline equivalence in :mod:`repro.qgj.fuzzer`).
+"""
+
+from __future__ import annotations
+
+from repro.fleet.lane import lane_fingerprint, run_lane, shared_corpus
+from repro.fleet.pairs import PairSpec, PairSummary, pair_task
+from repro.fleet.plan import cohort_plan, plan_lanes, plan_pairs
+from repro.fleet.study import FleetStudyResult, run_fleet_study
+
+__all__ = [
+    "FleetStudyResult",
+    "PairSpec",
+    "PairSummary",
+    "cohort_plan",
+    "lane_fingerprint",
+    "pair_task",
+    "plan_lanes",
+    "plan_pairs",
+    "run_fleet_study",
+    "run_lane",
+    "shared_corpus",
+]

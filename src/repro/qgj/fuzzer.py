@@ -23,7 +23,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import time
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Generator, Iterable, List, Optional, Sequence, Tuple
 
 from repro.android.activity_manager import DispatchResult
 from repro.android.component import ComponentInfo, ComponentKind
@@ -232,11 +232,42 @@ class FuzzerLibrary:
         config: FuzzConfig,
         result: ComponentRunResult,
     ) -> None:
-        """The uninstrumented loop: telemetry off pays nothing here."""
+        """The uninstrumented loop: telemetry off pays nothing here.
+
+        Implemented as a trampoline over :meth:`fuzz_component_coop`: each
+        yielded deadline is advanced to immediately, which is exactly what
+        ``clock.sleep`` would have done inline.  Sharing the generator with
+        the fleet kernel is what guarantees a multiplexed pair replays the
+        identical timeline a blocking run produces.
+        """
+        advance = self._device.clock.advance_to
+        for deadline_ms in self.fuzz_component_coop(info, campaign, config, result):
+            advance(deadline_ms)
+
+    def fuzz_component_coop(
+        self,
+        info: ComponentInfo,
+        campaign: Campaign,
+        config: FuzzConfig,
+        result: ComponentRunResult,
+    ) -> Generator[float, None, None]:
+        """The cooperative component loop: yields instead of sleeping.
+
+        Each ``yield`` hands the caller the absolute virtual deadline the
+        paper's pacing calls for (100 ms between intents, +250 ms per
+        batch); the caller must advance this device's clock to the deadline
+        before resuming -- the blocking trampoline does it inline, the
+        :class:`~repro.android.clock.FleetScheduler` does it when this pair
+        is next up.  The body mirrors :meth:`_injection_epilogue` step for
+        step (kill tick, pacing, reboot abort, quarantine abort); the
+        stream-vs-coop equivalence test in ``tests/qgj`` keeps the two from
+        drifting apart.
+        """
         clock = self._device.clock
-        boots_before = self._device.boot_count
+        device = self._device
+        boots_before = device.boot_count
         max_intents = config.max_intents_per_component
-        epilogue = self._injection_epilogue
+        kill_switch = self.kill_switch
         for fuzz_intent in generate(
             campaign,
             seed=config.seed,
@@ -246,8 +277,17 @@ class FuzzerLibrary:
             if max_intents is not None and result.sent >= max_intents:
                 break
             self._inject(info, fuzz_intent, result)
-            if not epilogue(result, config, clock, boots_before):
-                break
+            if kill_switch is not None:
+                kill_switch.tick()
+            yield clock.now_ms() + config.intent_delay_ms
+            if result.sent % config.batch_size == 0:
+                yield clock.now_ms() + config.batch_delay_ms
+            if device.boot_count != boots_before:
+                result.rebooted = True
+                result.aborted = True
+                return
+            if result.quarantined:
+                return
 
     def _fuzz_component_instrumented(
         self,
@@ -644,6 +684,46 @@ class FuzzerLibrary:
                 if component_result.quarantined:
                     app_result.quarantined = True
                     break
+        return app_result
+
+    def fuzz_app_coop(
+        self,
+        package_name: str,
+        campaign: Campaign,
+        config: FuzzConfig = QUICK_CONFIG,
+        kinds: Sequence[ComponentKind] = (ComponentKind.ACTIVITY, ComponentKind.SERVICE),
+    ) -> Generator[float, None, AppRunResult]:
+        """Cooperative :meth:`fuzz_app`: yields pacing deadlines, returns
+        the :class:`AppRunResult` via ``StopIteration``.
+
+        The fleet kernel's per-pair entry point.  Matches the telemetry-off
+        :meth:`fuzz_app` path exactly (telemetry spans are the blocking
+        paths' concern; fleet pairs account at the lane layer), including
+        the reboot/quarantine abort order.
+        """
+        package = self._device.packages.get_package(package_name)
+        if package is None:
+            raise ValueError(f"package not installed: {package_name}")
+        if self.quarantine.is_quarantined(package_name):
+            return AppRunResult(package=package_name, campaign=campaign, quarantined=True)
+        app_result = AppRunResult(package=package_name, campaign=campaign)
+        wanted = set(kinds)
+        for info in package.components:
+            if info.kind not in wanted:
+                continue
+            component_result = ComponentRunResult(
+                component=info.name.flatten_to_string(),
+                kind=info.kind,
+                campaign=campaign,
+            )
+            yield from self.fuzz_component_coop(info, campaign, config, component_result)
+            app_result.components.append(component_result)
+            if component_result.rebooted:
+                app_result.aborted_by_reboot = True
+                break
+            if component_result.quarantined:
+                app_result.quarantined = True
+                break
         return app_result
 
     def fuzz_app_all_campaigns(

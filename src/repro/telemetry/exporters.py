@@ -25,7 +25,17 @@ import math
 import os
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import (
+    CRASHES,
+    FLEET_LANE_OCCUPANCY,
+    FLEET_PAIRS_ACTIVE,
+    FLEET_PAIRS_FINISHED,
+    INTENTS_SENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.telemetry.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
@@ -102,6 +112,56 @@ def parse_jsonl_spans(text: str) -> List[Dict[str, object]]:
     return [json.loads(line) for line in text.splitlines() if line.strip()]
 
 
+def _fleet_section(registry: MetricsRegistry) -> List[str]:
+    """The FLEET block of the summary, present only for fleet runs.
+
+    Gated on the fleet pair counter existing in the registry: only
+    :func:`repro.fleet.study.run_fleet_study` registers it, so every
+    non-fleet export stays byte-identical to releases that predate the
+    fleet kernel.
+    """
+    metrics = {metric.name: metric for metric in registry.collect()}
+    finished = metrics.get(FLEET_PAIRS_FINISHED)
+    if finished is None:
+        return []
+    lines = ["", "FLEET"]
+    active = metrics.get(FLEET_PAIRS_ACTIVE)
+    active_now = (
+        sum(child.value for _, child in active.samples()) if active is not None else 0
+    )
+    lines.append(
+        f"pairs: {int(finished.total())} finished, {int(active_now)} active"
+    )
+    occupancy = metrics.get(FLEET_LANE_OCCUPANCY)
+    if occupancy is not None:
+        cells = [
+            f"{labels.get('lane', '?')}={int(child.value)}"
+            for labels, child in occupancy.samples()
+        ]
+        if cells:
+            lines.append(f"lane occupancy (peak pairs): {' '.join(cells)}")
+    crashes = metrics.get(CRASHES)
+    sent = metrics.get(INTENTS_SENT)
+    if crashes is not None or sent is not None:
+        crash_by = (
+            {labels.get("cohort", "?"): child.value for labels, child in crashes.samples()}
+            if crashes is not None
+            else {}
+        )
+        sent_by = (
+            {labels.get("cohort", "?"): child.value for labels, child in sent.samples()}
+            if sent is not None
+            else {}
+        )
+        lines.append(f"{'COHORT':<12} {'INTENTS':>10} {'CRASHES':>9}")
+        for cohort in sorted(set(crash_by) | set(sent_by)):
+            lines.append(
+                f"{cohort:<12} {int(sent_by.get(cohort, 0)):>10} "
+                f"{int(crash_by.get(cohort, 0)):>9}"
+            )
+    return lines
+
+
 def render_summary(telemetry: "Telemetry") -> str:
     """The ``dumpsys telemetry`` table: every series, then tracer health."""
     registry = telemetry.metrics
@@ -137,6 +197,7 @@ def render_summary(telemetry: "Telemetry") -> str:
     heartbeat = telemetry.progress.last_snapshot
     if heartbeat is not None:
         lines.append(heartbeat.render())
+    lines.extend(_fleet_section(registry))
     prof = telemetry.profiler
     if prof.enabled:
         lines.append("")

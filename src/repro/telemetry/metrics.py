@@ -46,6 +46,13 @@ SHARDS_POISONED = "shards_poisoned"
 NOVEL_BEHAVIOURS = "novel_behaviours_total"
 CORPUS_SIZE = "behaviour_corpus_size"
 ARM_BUDGET = "guided_arm_budget_intents"
+#: Fleet-kernel series, registered lazily by fleet lanes so a clean
+#: non-fleet export carries none of them.
+CRASHES = "crashes_total"
+INTENTS_SENT = "intents_sent_total"
+FLEET_PAIRS_ACTIVE = "fleet_pairs_active"
+FLEET_PAIRS_FINISHED = "fleet_pairs_finished_total"
+FLEET_LANE_OCCUPANCY = "fleet_lane_occupancy"
 
 #: Default histogram buckets, in virtual milliseconds, spanning the
 #: simulator's time constants (pacing .. ANR window .. stall cap .. boot).
