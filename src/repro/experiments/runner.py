@@ -20,20 +20,12 @@ from repro.experiments.config import ExperimentConfig, by_name
 from repro.experiments.phone_experiment import PhoneStudyResult, run_phone_study
 from repro.experiments.ui_experiment import UiStudyResult, run_ui_study
 from repro.experiments.wear_experiment import WearStudyResult, run_wear_study
-import dataclasses
 
 from repro.apps.profiles import DEFAULT_COHORT_SPEC, parse_cohort_spec
 from repro.farm.health import ShardPoisonedError, StudyInterrupted
 from repro.farm.pool import resolve_workers
 from repro.faults.errors import CampaignKilled
-from repro.faults.plan import (
-    BASE_WEAR_API,
-    CHAOS_INTERVALS_MS,
-    CompatMatrix,
-    FaultKind,
-    FaultPlan,
-)
-from repro.faults.services import ServiceFaultPlan
+from repro.faults.plan import BASE_WEAR_API, FaultPlan
 
 
 def _study_cache(fn):
@@ -239,12 +231,21 @@ options:
                    the blind wear study would spend; requires --guided)
   -h, --help       show this message
 
+service mode:
+  python -m repro serve|submit|status ...
+                   the fuzzing-as-a-service surface: a durable study queue
+                   plus a recoverable daemon over one ROOT directory (run
+                   `python -m repro serve --help` for its options)
+
 exit codes:
   0    complete report, every shard clean (retries allowed)
   2    usage error
   3    campaign killed by --kill-after (resumable via --resume)
   4    degraded: shards quarantined as poison (coverage dropped)
-  130  interrupted (SIGINT/SIGTERM drain; resumable via --resume)\
+  5    service submission rejected by admission control (queue full)
+  130  interrupted (SIGINT/SIGTERM drain; resumable via --resume --
+       or the service daemon drained: leased study checkpointed and
+       released, the WAL still holds the queue)\
 """
 
 
@@ -297,6 +298,12 @@ def _build_parser() -> _ArgumentParser:
 
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in ("serve", "submit", "status"):
+        # The service surface rides the same entry point; see
+        # repro.service.cli for its usage and exit codes.
+        from repro.service.cli import main as service_main
+
+        return service_main(args)
     if "-h" in args or "--help" in args:
         print(USAGE)
         return 0
@@ -380,21 +387,14 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    # Compose the fault plan: --fault-seed arms every stream, then
-    # --service-fault-seed arms (or re-seeds onto) the OS-service streams,
-    # then --compat-skew pins the pair's API matrix on whatever is armed.
-    plan: Optional[FaultPlan] = None
-    if opts.fault_seed is not None:
-        plan = FaultPlan.chaos(seed=opts.fault_seed)
-    if opts.service_fault_seed is not None:
-        plan = ServiceFaultPlan(seed=opts.service_fault_seed).apply(plan)
-    if opts.compat_skew is not None:
-        base = plan if plan is not None else FaultPlan(seed=0)
-        plan = dataclasses.replace(
-            base,
-            compat=CompatMatrix.from_skew(opts.compat_skew),
-            compat_mismatch_every_ms=CHAOS_INTERVALS_MS[FaultKind.COMPAT_MISMATCH],
-        )
+    # One composition rule, shared with the service daemon: --fault-seed
+    # arms every stream, --service-fault-seed arms (or re-seeds onto) the
+    # OS-service streams, --compat-skew pins the pair's API matrix.
+    plan: Optional[FaultPlan] = faults.compose_plan(
+        fault_seed=opts.fault_seed,
+        service_fault_seed=opts.service_fault_seed,
+        compat_skew=opts.compat_skew,
+    )
     if plan is not None:
         faults.install(plan)
     if opts.telemetry_sample < 1:

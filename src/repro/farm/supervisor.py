@@ -210,18 +210,24 @@ def supervise_shards(
 
 
 def _run_sequential(specs, health, kill_switch, telemetry_handle) -> SupervisedRun:
-    """The ``workers=1`` reference path: in-process, live handle, no retry."""
+    """The ``workers=1`` reference path: in-process, live handle, no retry.
+
+    Attempt durations use ``time.monotonic()``, the same clock every
+    deadline and heartbeat comparison in this module uses: an NTP step
+    mid-shard must never distort the health report (or, in the parallel
+    path, spuriously expire a healthy worker).
+    """
     results: List[Optional[ShardResult]] = []
     for position, spec in enumerate(specs):
         row = health.shards[position]
-        started = time.perf_counter()
+        started = time.monotonic()
         try:
             result = run_shard(
                 spec, kill_switch=kill_switch, telemetry_handle=telemetry_handle
             )
         except CampaignKilled:
             row.attempts.append(
-                AttemptRecord(1, OUTCOME_KILLED, time.perf_counter() - started)
+                AttemptRecord(1, OUTCOME_KILLED, time.monotonic() - started)
             )
             row.outcome = SHARD_KILLED
             raise
@@ -230,12 +236,12 @@ def _run_sequential(specs, health, kill_switch, telemetry_handle) -> SupervisedR
                 AttemptRecord(
                     1,
                     OUTCOME_EXCEPTION,
-                    time.perf_counter() - started,
+                    time.monotonic() - started,
                     traceback.format_exc(),
                 )
             )
             raise
-        row.attempts.append(AttemptRecord(1, OUTCOME_OK, time.perf_counter() - started))
+        row.attempts.append(AttemptRecord(1, OUTCOME_OK, time.monotonic() - started))
         row.outcome = SHARD_OK
         results.append(result)
     return SupervisedRun(results, health)
@@ -454,6 +460,10 @@ class _Supervisor:
             row.outcome = SHARD_POISONED
 
     def _record(self, handle, outcome: str, detail: str = ""):
+        # handle.started is monotonic (the deadline clock); elapsed must
+        # come from the same clock, never wall time.  The span below is
+        # anchored at the perf_counter "now" and backdated by that elapsed,
+        # so a wall-clock step mid-attempt cannot warp its duration.
         elapsed = time.monotonic() - handle.started
         record = AttemptRecord(handle.attempt, outcome, elapsed, detail)
         self._health.shards[handle.position].attempts.append(record)

@@ -38,6 +38,7 @@ Usage::
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from typing import Iterator, Optional, Union
 
 from repro.faults.errors import (
@@ -90,6 +91,7 @@ __all__ = [
     "SharedKillSwitch",
     "StaleBinderReply",
     "TRANSIENT_ERRORS",
+    "compose_plan",
     "enabled",
     "fingerprint",
     "get",
@@ -140,3 +142,37 @@ def session(plan: Optional[FaultPlan]) -> Iterator[Union[FaultPlane, NoopPlane]]
         yield plane
     finally:
         uninstall()
+
+
+def compose_plan(
+    fault_seed: Optional[int] = None,
+    service_fault_seed: Optional[int] = None,
+    compat_skew: Optional[int] = None,
+) -> Optional[FaultPlan]:
+    """The one composition rule for the CLI's three chaos knobs.
+
+    ``--fault-seed`` arms every stream, then ``--service-fault-seed`` arms
+    (or re-seeds onto) the OS-service streams, then ``--compat-skew`` pins
+    the device pair's API matrix on whatever is armed.  Returns ``None``
+    when no knob is given -- the no-op plane.  The batch runner and the
+    service daemon both build their plans here, so a submitted study spec
+    reproduces exactly the plan the equivalent one-shot invocation would
+    install.
+    """
+    if compat_skew is not None and not (0 <= compat_skew < BASE_WEAR_API):
+        raise ValueError(
+            f"compat skew must be in [0, {BASE_WEAR_API - 1}], got {compat_skew}"
+        )
+    plan: Optional[FaultPlan] = None
+    if fault_seed is not None:
+        plan = FaultPlan.chaos(seed=fault_seed)
+    if service_fault_seed is not None:
+        plan = ServiceFaultPlan(seed=service_fault_seed).apply(plan)
+    if compat_skew is not None:
+        base = plan if plan is not None else FaultPlan(seed=0)
+        plan = dataclasses.replace(
+            base,
+            compat=CompatMatrix.from_skew(compat_skew),
+            compat_mismatch_every_ms=CHAOS_INTERVALS_MS[FaultKind.COMPAT_MISMATCH],
+        )
+    return plan

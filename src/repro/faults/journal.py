@@ -9,7 +9,8 @@ database, scaled to the simulator.  Two files:
   record marks one completed ``(package, campaign)`` segment with its
   serialized results.  Every append is flushed and fsynced, so after a kill
   the journal holds exactly the completed segments.  A torn final line
-  (the crash landed mid-write) is detected and ignored on load.
+  (the crash landed mid-write) is truncated away on load, with the
+  recovered byte count noted on the returned header record.
 * ``<journal>.state`` -- a pickled snapshot of the full simulator state at
   the last completed segment boundary, written atomically (temp file,
   fsync, ``os.replace``).  Resume loads it and continues as if the kill
@@ -131,26 +132,54 @@ class CheckpointJournal:
 
     # -- journal reads ------------------------------------------------------------
     @staticmethod
-    def load(path: str) -> List[Dict[str, Any]]:
-        """Parse a journal, tolerating a torn (crash-interrupted) final line."""
+    def load(path: str, truncate: bool = True) -> List[Dict[str, Any]]:
+        """Parse a journal, tolerating and truncating a torn final line.
+
+        A crash mid-append (``kill -9`` between the write and the fsync
+        landing in full) leaves a partial final record: either an
+        unterminated tail or a terminated-but-unparsable last line.  Both
+        mean the record was never durable, so both are *recovered*: the
+        file is truncated back to its durable prefix (best-effort -- a
+        read-only filesystem just skips the truncation) and the returned
+        header record carries a ``"recovered_bytes"`` note so resume
+        reporting can say what was dropped.  Corruption anywhere *before*
+        the final line is not a torn append and still raises.
+        """
         records: List[Dict[str, Any]] = []
-        with open(path, "r", encoding="utf-8") as fh:
-            lines = fh.read().split("\n")
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        lines = raw.split(b"\n")
         # A well-formed journal ends with "\n", so the final split element
         # is empty; anything else is a torn tail.
         body, tail = lines[:-1], lines[-1]
+        recovered = len(tail)
         for lineno, line in enumerate(body, start=1):
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
+                records.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if lineno == len(body) and not tail:
+                    # Terminated final line that does not parse: the tail
+                    # of a torn append whose newline survived.  Recover it
+                    # like an unterminated tail (newline included).
+                    recovered = len(line) + 1
+                    break
                 raise ValueError(f"{path}:{lineno}: corrupt journal record: {exc}")
-        if tail:
-            # Torn tail: the record was never durable, drop it silently.
-            pass
         if not records or records[0].get("type") != "header":
             raise ValueError(f"{path}: not a checkpoint journal (missing header)")
+        if recovered:
+            if truncate:
+                try:
+                    with open(path, "r+b") as fh:
+                        fh.truncate(len(raw) - recovered)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                except OSError:  # read-only media: tolerate without truncating
+                    pass
+            # Synthesized at load time, never written to disk: the header
+            # on disk stays exactly the bytes the writer produced.
+            records[0]["recovered_bytes"] = recovered
         return records
 
     def header(self) -> Dict[str, Any]:

@@ -1,0 +1,55 @@
+"""Fuzzing-as-a-service: the crash-safe daemon around the batch pipeline.
+
+The batch CLI runs one study and exits; the ROADMAP's north star is a
+*service* that accumulates results across submissions and survives its own
+host failing -- the same robustness bar the chaos plane holds the campaigns
+to (an orchestrator that injects crash/kill/hang faults must itself
+tolerate them).  This package is that promotion, built robustness-first:
+
+* :mod:`repro.service.spec` -- :class:`StudySpec`, the canonical,
+  fingerprinted description of one submitted study;
+* :mod:`repro.service.wal` -- the durable write-ahead study queue: an
+  append-only JSONL log of submit/lease/complete/requeue/poison
+  transitions, fsynced per append, torn-tail tolerant on replay;
+* :mod:`repro.service.queue` -- the in-memory state machine over the WAL:
+  admission control with explicit backpressure, lease-based claims with
+  ``time.monotonic()`` heartbeat/deadline liveness, bounded retries and
+  poison quarantine;
+* :mod:`repro.service.store` -- the persistent results/corpus store keyed
+  by ``(app, campaign, seed)``, generalizing the runner's in-process
+  fingerprint cache and merging guided behaviour corpora across runs;
+* :mod:`repro.service.daemon` -- the long-running daemon: recovery scan on
+  start (reclaim dead leases, resume journalled studies from their shard
+  checkpoints), graceful SIGTERM drain to exit 130;
+* :mod:`repro.service.http_api` -- the HTTP status API serving queue
+  state, per-study reports, and the live Prometheus/dumpsys exposition;
+* :mod:`repro.service.client` / :mod:`repro.service.cli` -- the
+  ``python -m repro serve | submit | status`` surface.
+
+The recovery contract is the package's reason to exist: ``kill -9`` the
+daemon at *any* point -- mid-append, mid-lease, mid-study -- and a restart
+replays the WAL, requeues the interrupted study, resumes it from its shard
+checkpoint journals, and stores a report byte-identical to the one an
+uninterrupted daemon would have produced.  Resubmitting a completed
+fingerprint never re-runs anything: the stored result is served.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon, SimulatedCrash
+from repro.service.queue import AdmissionError, StudyQueue
+from repro.service.spec import StudySpec
+from repro.service.store import ResultStore
+from repro.service.wal import ServiceWAL
+
+__all__ = [
+    "AdmissionError",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceWAL",
+    "SimulatedCrash",
+    "StudyQueue",
+    "StudySpec",
+]

@@ -1,0 +1,170 @@
+"""The service client: talk to a live daemon, or the files it left behind.
+
+Discovery is the ``daemon.json`` file the daemon writes (atomically) into
+its root: pid, incarnation id, and the status API's port.  The client
+prefers the HTTP surface -- that is the live, locked view -- and falls
+back to reading the WAL and store directly when no daemon answers, so
+``status`` and ``report`` keep working against a stopped service (the
+whole point of making the queue durable).
+
+Offline *submission* also works: the WAL is the queue, so appending a
+submit record while no daemon runs simply queues work for the next
+incarnation to recover and execute.  The client refuses the offline path
+whenever a daemon looks alive, because two writers on one WAL would
+interleave appends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from repro.service.queue import AdmissionError, StudyQueue
+from repro.service.spec import StudySpec
+from repro.service.store import ResultStore
+from repro.service.wal import ServiceWAL
+
+HTTP_TIMEOUT_S = 5.0
+
+
+class ServiceClient:
+    """Submit to / inspect one service root, live or offline."""
+
+    def __init__(self, root: str, timeout_s: float = HTTP_TIMEOUT_S) -> None:
+        self.root = str(root)
+        self.discovery_path = os.path.join(self.root, "daemon.json")
+        self.timeout_s = timeout_s
+
+    # -- discovery ----------------------------------------------------------------
+    def discovery(self) -> Optional[Dict[str, object]]:
+        """The daemon's discovery record, or None when none is published."""
+        try:
+            with open(self.discovery_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def base_url(self) -> Optional[str]:
+        info = self.discovery()
+        if info is None or not info.get("port"):
+            return None
+        return f"http://127.0.0.1:{info['port']}"
+
+    def daemon_alive(self) -> bool:
+        """A daemon is alive iff its published pid still exists.
+
+        The discovery file is removed on clean shutdown, so its presence
+        plus a live pid is the signal; the HTTP probe would miss daemons
+        running without the status API.
+        """
+        info = self.discovery()
+        if info is None:
+            return False
+        try:
+            os.kill(int(info.get("pid", -1)), 0)
+        except (OSError, ValueError, TypeError):
+            return False
+        return True
+
+    # -- HTTP plumbing ------------------------------------------------------------
+    def _request(self, path: str, body: Optional[bytes] = None):
+        base = self.base_url()
+        if base is None:
+            raise ConnectionError("no daemon HTTP endpoint published")
+        request = urllib.request.Request(
+            base + path,
+            data=body,
+            headers={"Content-Type": "application/json"} if body else {},
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+        except (urllib.error.URLError, OSError) as exc:
+            raise ConnectionError(f"daemon unreachable: {exc}") from exc
+
+    # -- operations ---------------------------------------------------------------
+    def submit(self, spec: StudySpec) -> Dict[str, object]:
+        """Submit *spec*; returns ``{fingerprint, state, cached}``.
+
+        Raises :class:`AdmissionError` on backpressure (HTTP 429 from a
+        live daemon, or the bounded queue directly when offline) and
+        ``ValueError`` when the daemon rejects the spec.
+        """
+        if self.daemon_alive():
+            body = json.dumps(spec.to_wire()).encode("utf-8")
+            status, payload = self._request("/submit", body=body)
+            answer = json.loads(payload.decode("utf-8"))
+            if status == 429:
+                raise AdmissionError(
+                    int(answer.get("capacity", 0)), int(answer.get("backlog", 0))
+                )
+            if status != 200:
+                raise ValueError(answer.get("error", f"submit failed: HTTP {status}"))
+            return answer
+        # Offline: the WAL is the queue; the next daemon recovers this.
+        queue = self._offline_queue()
+        result = queue.submit(spec)
+        return {
+            "fingerprint": result.fingerprint,
+            "state": result.state,
+            "cached": result.cached,
+        }
+
+    def status(self) -> Dict[str, object]:
+        """The daemon's status dict, or an offline summary of the files."""
+        if self.daemon_alive():
+            try:
+                status, payload = self._request("/status")
+                if status == 200:
+                    return json.loads(payload.decode("utf-8"))
+            except ConnectionError:
+                pass  # alive but no HTTP endpoint: fall through to files
+        queue = self._offline_queue()
+        return {
+            "owner": None,
+            "pid": None,
+            "root": os.path.abspath(self.root),
+            "executing": None,
+            "draining": False,
+            "queue": queue.counts(),
+            "depth": queue.depth(),
+            "capacity": queue.capacity,
+            "offline": True,
+            "wal_recovered_bytes": queue.wal.recovered_bytes,
+        }
+
+    def study(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """One job's wire state (live or replayed); None when unknown."""
+        if self.daemon_alive():
+            try:
+                status, payload = self._request(f"/studies/{fingerprint}")
+                if status == 200:
+                    return json.loads(payload.decode("utf-8"))
+                return None
+            except ConnectionError:
+                pass
+        record = self._offline_queue().job(fingerprint)
+        return record.to_wire() if record is not None else None
+
+    def report(self, fingerprint: str) -> Optional[str]:
+        """The stored report text, live or from the store; None when absent."""
+        if self.daemon_alive():
+            try:
+                status, payload = self._request(f"/studies/{fingerprint}/report")
+                if status == 200:
+                    return payload.decode("utf-8")
+                return None
+            except ConnectionError:
+                pass
+        store = ResultStore(os.path.join(self.root, "store"))
+        stored = store.get(fingerprint)
+        return stored.report_text() if stored is not None else None
+
+    def _offline_queue(self) -> StudyQueue:
+        return StudyQueue(ServiceWAL(os.path.join(self.root, "wal.jsonl")))

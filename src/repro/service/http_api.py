@@ -1,0 +1,162 @@
+"""The daemon's status API: stdlib HTTP over the live queue and store.
+
+A tiny read-mostly surface in the dumpsys spirit -- observe the daemon
+without touching its files:
+
+* ``GET  /status``               -- the daemon's status dict (JSON)
+* ``GET  /studies``              -- every queued/leased/done/poisoned job
+* ``GET  /studies/<fp>``         -- one job's state
+* ``GET  /studies/<fp>/report``  -- the stored report, text/plain
+* ``GET  /metrics``              -- Prometheus exposition of the registry
+* ``GET  /dumpsys``              -- the human exposition (render_summary)
+* ``POST /submit``               -- a StudySpec wire dict; 200 admitted or
+  cached, 429 on admission-control backpressure, 400 on a bad spec
+
+The server is a daemon-threaded ``ThreadingHTTPServer``; submissions land
+on handler threads and are serialized by the queue's own lock, so the
+serving loop never blocks on HTTP traffic and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro import telemetry
+from repro.service.queue import AdmissionError
+from repro.service.spec import StudySpec
+from repro.telemetry.exporters import render_prometheus, render_summary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.daemon import ServiceDaemon
+
+MAX_BODY_BYTES = 64 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    #: Set by StatusServer before serving.
+    daemon: "ServiceDaemon" = None
+
+    # -- plumbing -----------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the daemon's stdout is the operator's, not the access log's
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, payload: object) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send(code, body, "application/json")
+
+    def _text(self, code: int, text: str) -> None:
+        self._send(code, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+    def _study_path(self) -> Optional[Tuple[str, bool]]:
+        """``/studies/<fp>`` or ``/studies/<fp>/report`` -> (fp, report?)."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "studies":
+            return parts[1], False
+        if len(parts) == 3 and parts[0] == "studies" and parts[2] == "report":
+            return parts[1], True
+        return None
+
+    # -- GET ----------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib signature
+        path = self.path.split("?")[0].rstrip("/") or "/"
+        if path == "/status":
+            self._json(200, self.daemon.status())
+            return
+        if path == "/studies":
+            self._json(200, [job.to_wire() for job in self.daemon.queue.jobs()])
+            return
+        if path == "/metrics":
+            self._text(200, render_prometheus(telemetry.get().metrics))
+            return
+        if path == "/dumpsys":
+            self._text(200, render_summary(telemetry.get()))
+            return
+        study = self._study_path()
+        if study is not None:
+            fingerprint, want_report = study
+            job = self.daemon.queue.job(fingerprint)
+            if job is None:
+                self._json(404, {"error": f"unknown study {fingerprint}"})
+                return
+            if not want_report:
+                self._json(200, job.to_wire())
+                return
+            stored = self.daemon.store.get(fingerprint)
+            if stored is None:
+                self._json(404, {"error": f"study {fingerprint} has no report yet"})
+                return
+            self._text(200, stored.report_text())
+            return
+        self._json(404, {"error": f"no such endpoint {path}"})
+
+    # -- POST ---------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib signature
+        path = self.path.split("?")[0].rstrip("/")
+        if path != "/submit":
+            self._json(404, {"error": f"no such endpoint {path}"})
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._json(400, {"error": f"body must be 1..{MAX_BODY_BYTES} bytes"})
+            return
+        try:
+            wire = json.loads(self.rfile.read(length).decode("utf-8"))
+            spec = StudySpec.from_wire(wire)
+        except (ValueError, TypeError, UnicodeDecodeError) as exc:
+            self._json(400, {"error": f"bad spec: {exc}"})
+            return
+        try:
+            result = self.daemon.submit(spec)
+        except AdmissionError as exc:
+            self._json(
+                429,
+                {
+                    "error": str(exc),
+                    "capacity": exc.capacity,
+                    "backlog": exc.backlog,
+                },
+            )
+            return
+        self._json(
+            200,
+            {
+                "fingerprint": result.fingerprint,
+                "state": result.state,
+                "cached": result.cached,
+            },
+        )
+
+
+class StatusServer:
+    """The daemon's HTTP face, served from a background thread."""
+
+    def __init__(self, daemon: "ServiceDaemon", port: int = 0) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"daemon": daemon})
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name=f"service-http-{self.port}",
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)

@@ -1,0 +1,173 @@
+"""Study specs: the canonical, fingerprinted unit of submission.
+
+A submission is a *description* of a study, not a command line: the spec
+carries exactly the knobs that determine the study's output (config scale,
+package subset, campaigns, the three chaos seeds, the worker count, the
+guided-scheduler knobs) and nothing that doesn't (ports, directories,
+timeouts).  Its fingerprint -- SHA-256 over the canonical JSON encoding --
+is therefore the study's identity everywhere in the service: the WAL keys
+submissions by it, leases claim it, the store files reports under it, and
+resubmitting a spec that already completed is answered from the store
+without running anything.  This generalizes the runner's in-process
+``(config, fault_fingerprint)`` memo into a durable, restart-surviving
+cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+from repro import faults
+from repro.experiments.config import by_name
+from repro.faults.plan import FaultPlan
+from repro.qgj.campaigns import Campaign
+
+SPEC_VERSION = 1
+
+#: Study kinds the daemon can execute.  ``wear`` is the journalled,
+#: checkpoint-resumable paper study; ``guided`` is the feedback-guided
+#: study (deterministic end to end, so crash recovery re-runs it from
+#: scratch to the identical report and corpus).
+KINDS = ("wear", "guided")
+
+SCHEDULERS = ("ucb", "thompson")
+
+
+@dataclasses.dataclass(frozen=True)
+class StudySpec:
+    """One submitted study, canonically encoded and fingerprintable."""
+
+    kind: str = "wear"
+    config: str = "quick"
+    #: Package subset; ``None`` means the full corpus.
+    packages: Optional[Tuple[str, ...]] = None
+    #: Campaign values ("A".."D"); ``None`` means all four.
+    campaigns: Optional[Tuple[str, ...]] = None
+    fault_seed: Optional[int] = None
+    service_fault_seed: Optional[int] = None
+    compat_skew: Optional[int] = None
+    workers: int = 1
+    #: Guided-study knobs (ignored for kind="wear").
+    scheduler: str = "ucb"
+    guided_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        by_name(self.config)  # raises on an unknown scale
+        if self.packages is not None:
+            if not self.packages:
+                raise ValueError("packages must be None or non-empty")
+            object.__setattr__(self, "packages", tuple(self.packages))
+        if self.campaigns is not None:
+            if not self.campaigns:
+                raise ValueError("campaigns must be None or non-empty")
+            for value in self.campaigns:
+                Campaign(value)  # raises on an unknown campaign
+            object.__setattr__(self, "campaigns", tuple(self.campaigns))
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.guided_budget is not None and self.guided_budget < 1:
+            raise ValueError(f"guided_budget must be >= 1, got {self.guided_budget}")
+        # Validate the chaos knobs eagerly: a spec that cannot build its
+        # plan must be rejected at admission, not when leased.
+        self.build_plan()
+
+    # -- identity -----------------------------------------------------------------
+    def to_wire(self) -> Dict[str, object]:
+        wire: Dict[str, object] = {
+            "spec_version": SPEC_VERSION,
+            "kind": self.kind,
+            "config": self.config,
+            "workers": self.workers,
+        }
+        if self.packages is not None:
+            wire["packages"] = list(self.packages)
+        if self.campaigns is not None:
+            wire["campaigns"] = list(self.campaigns)
+        for key in ("fault_seed", "service_fault_seed", "compat_skew"):
+            value = getattr(self, key)
+            if value is not None:
+                wire[key] = value
+        if self.kind == "guided":
+            wire["scheduler"] = self.scheduler
+            if self.guided_budget is not None:
+                wire["guided_budget"] = self.guided_budget
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "StudySpec":
+        version = wire.get("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(f"spec version {version}, expected {SPEC_VERSION}")
+        known = {
+            "kind",
+            "config",
+            "packages",
+            "campaigns",
+            "fault_seed",
+            "service_fault_seed",
+            "compat_skew",
+            "workers",
+            "scheduler",
+            "guided_budget",
+        }
+        unknown = set(wire) - known - {"spec_version"}
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        kwargs = {key: wire[key] for key in known if key in wire}
+        for key in ("packages", "campaigns"):
+            if kwargs.get(key) is not None:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    def canonical(self) -> str:
+        """Deterministic JSON: defaults elided, keys sorted."""
+        return json.dumps(self.to_wire(), sort_keys=True)
+
+    def fingerprint(self) -> str:
+        """The study's identity across the WAL, leases, and the store."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()[:16]
+
+    # -- execution inputs ---------------------------------------------------------
+    def build_plan(self) -> Optional[FaultPlan]:
+        """The fault plan this spec's chaos knobs compose to (or ``None``)."""
+        return faults.compose_plan(
+            fault_seed=self.fault_seed,
+            service_fault_seed=self.service_fault_seed,
+            compat_skew=self.compat_skew,
+        )
+
+    def campaign_values(self) -> Tuple[Campaign, ...]:
+        if self.campaigns is None:
+            return tuple(Campaign)
+        return tuple(Campaign(value) for value in self.campaigns)
+
+    def describe(self) -> str:
+        """One status line: kind, scale, and the non-default knobs."""
+        parts = [self.kind, self.config]
+        if self.packages is not None:
+            parts.append(f"{len(self.packages)} pkg")
+        if self.campaigns is not None:
+            parts.append("campaigns " + "".join(self.campaigns))
+        for label, value in (
+            ("seed", self.fault_seed),
+            ("svc", self.service_fault_seed),
+            ("skew", self.compat_skew),
+        ):
+            if value is not None:
+                parts.append(f"{label}={value}")
+        if self.workers != 1:
+            parts.append(f"workers={self.workers}")
+        if self.kind == "guided":
+            parts.append(self.scheduler)
+            if self.guided_budget is not None:
+                parts.append(f"budget={self.guided_budget}")
+        return " ".join(parts)

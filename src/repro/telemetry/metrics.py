@@ -53,6 +53,13 @@ INTENTS_SENT = "intents_sent_total"
 FLEET_PAIRS_ACTIVE = "fleet_pairs_active"
 FLEET_PAIRS_FINISHED = "fleet_pairs_finished_total"
 FLEET_LANE_OCCUPANCY = "fleet_lane_occupancy"
+#: Service-plane series, registered lazily by the fuzzing-as-a-service
+#: daemon (:mod:`repro.service.daemon`).
+SERVICE_QUEUE_DEPTH = "service_queue_depth"
+SERVICE_LEASE_EXPIRIES = "service_lease_expiries_total"
+SERVICE_JOBS_RECOVERED = "service_jobs_recovered_total"
+SERVICE_REJECTED = "service_rejected_submissions_total"
+SERVICE_STUDIES_COMPLETED = "service_studies_completed_total"
 
 #: Default histogram buckets, in virtual milliseconds, spanning the
 #: simulator's time constants (pacing .. ANR window .. stall cap .. boot).

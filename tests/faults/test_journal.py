@@ -53,6 +53,51 @@ class TestJournal:
         records = CheckpointJournal.load(str(path))
         assert [r.get("index") for r in records if r["type"] == "segment"] == [0]
 
+    def test_torn_tail_is_truncated_and_noted(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(str(path))
+        journal.start({"config": "quick"})
+        journal.append({"type": "segment", "index": 0})
+        durable = path.stat().st_size
+        torn = '{"type": "segment", "index": 1, "pack'
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(torn)
+        records = CheckpointJournal.load(str(path))
+        assert records[0]["recovered_bytes"] == len(torn)
+        # The file shrank back to its durable prefix...
+        assert path.stat().st_size == durable
+        # ...the on-disk header carries no synthesized note...
+        assert "recovered_bytes" not in CheckpointJournal.load(str(path))[0]
+        # ...and the journal keeps working: appends after recovery parse.
+        journal.append({"type": "segment", "index": 1})
+        assert [s["index"] for s in journal.segments()] == [0, 1]
+
+    def test_terminated_but_unparsable_final_line_is_recovered(self, tmp_path):
+        # fsync guarantees ordering, not atomicity: a torn append can land
+        # with its trailing newline but only part of its content.
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(str(path))
+        journal.start({"config": "quick"})
+        journal.append({"type": "segment", "index": 0})
+        durable = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "segment", "ind\n')
+        records = CheckpointJournal.load(str(path))
+        assert records[0]["recovered_bytes"] == len('{"type": "segment", "ind\n')
+        assert path.stat().st_size == durable
+        assert [r.get("index") for r in records if r["type"] == "segment"] == [0]
+
+    def test_load_without_truncate_leaves_the_file_alone(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(str(path))
+        journal.start({"config": "quick"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        size = path.stat().st_size
+        records = CheckpointJournal.load(str(path), truncate=False)
+        assert records[0]["recovered_bytes"] == len('{"torn')
+        assert path.stat().st_size == size
+
     def test_corrupt_interior_record_is_an_error(self, tmp_path):
         path = tmp_path / "run.jsonl"
         journal = CheckpointJournal(str(path))

@@ -1,0 +1,122 @@
+"""The serve/submit/status surface, driven in-process through cli.main."""
+
+import json
+
+import pytest
+
+from repro import faults, telemetry
+from repro.experiments import runner
+from repro.service import StudySpec
+from repro.service.cli import EXIT_OK, EXIT_REJECTED, EXIT_USAGE, main
+
+PKG = "com.pulsetrack.wear"
+SPEC = StudySpec(packages=(PKG,), campaigns=("A",))
+
+
+@pytest.fixture(autouse=True)
+def _clean_planes():
+    yield
+    faults.uninstall()
+    telemetry.disable()
+
+
+class TestSubmitAndServe:
+    def test_offline_submit_then_until_idle_serve_then_status(
+        self, tmp_path, capsys
+    ):
+        root = str(tmp_path / "svc")
+        code = main(
+            ["submit", root, "quick", "--packages", PKG, "--campaigns", "A"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert SPEC.fingerprint() in out
+        assert "queued" in out
+
+        code = main(["serve", root, "--until-idle", "--no-http", "--no-telemetry"])
+        assert code == EXIT_OK
+        assert "1 done" in capsys.readouterr().out
+
+        code = main(["status", root])
+        assert code == EXIT_OK
+        assert "done 1" in capsys.readouterr().out
+
+        code = main(["status", root, "--report", SPEC.fingerprint()])
+        assert code == EXIT_OK
+        assert "QGJ fuzz summary" in capsys.readouterr().out
+
+    def test_cached_resubmission_prints_the_stored_report(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        main(["submit", root, "quick", "--packages", PKG, "--campaigns", "A"])
+        main(["serve", root, "--until-idle", "--no-http", "--no-telemetry"])
+        capsys.readouterr()
+        code = main(
+            ["submit", root, "quick", "--packages", PKG, "--campaigns", "A"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "QGJ fuzz summary" in out  # served without re-running
+
+    def test_status_json_is_machine_readable(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        main(["submit", root, "quick", "--packages", PKG, "--campaigns", "A"])
+        capsys.readouterr()
+        assert main(["status", root, "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["offline"] is True
+        assert payload["queue"]["queued"] == 1
+
+
+class TestExitCodes:
+    def test_usage_errors_exit_2(self, capsys):
+        assert main([]) == EXIT_USAGE
+        assert main(["vaporize"]) == EXIT_USAGE
+        assert main(["serve"]) == EXIT_USAGE  # missing ROOT
+        capsys.readouterr()
+
+    def test_bad_spec_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["submit", str(tmp_path), "no-such-scale"])
+        assert code == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_backpressure_exits_5(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        # The offline queue uses the default capacity (16): fill it with
+        # distinct fingerprints, then the 17th submission must be refused.
+        for seed in range(16):
+            assert (
+                main(
+                    [
+                        "submit", root, "quick",
+                        "--packages", PKG, "--campaigns", "A",
+                        "--fault-seed", str(seed),
+                    ]
+                )
+                == EXIT_OK
+            )
+        code = main(
+            [
+                "submit", root, "quick",
+                "--packages", PKG, "--campaigns", "A",
+                "--fault-seed", "99",
+            ]
+        )
+        assert code == EXIT_REJECTED
+        assert "rejected" in capsys.readouterr().err
+
+
+class TestRunnerDispatch:
+    def test_the_batch_entry_point_routes_service_subcommands(
+        self, tmp_path, capsys
+    ):
+        root = str(tmp_path / "svc")
+        code = runner.main(
+            ["submit", root, "quick", "--packages", PKG, "--campaigns", "A"]
+        )
+        assert code == EXIT_OK
+        assert SPEC.fingerprint() in capsys.readouterr().out
+
+    def test_the_runner_usage_documents_the_service_exit_codes(self):
+        assert "5    service submission rejected" in runner.USAGE
+        assert "serve|submit|status" in runner.USAGE

@@ -1,0 +1,156 @@
+"""The HTTP status API: live observation and submission over loopback."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults, telemetry
+from repro.service import ServiceDaemon, StudySpec
+
+PKG = "com.pulsetrack.wear"
+SPEC = StudySpec(packages=(PKG,), campaigns=("A",))
+
+
+@pytest.fixture(autouse=True)
+def _clean_planes():
+    yield
+    faults.uninstall()
+    telemetry.disable()
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    daemon = ServiceDaemon(str(tmp_path / "svc"), capacity=2, http_port=0)
+    daemon.start()
+    yield daemon
+    if daemon._server is not None:
+        daemon._server.stop()
+        daemon._server = None
+    telemetry.disable()
+
+
+def _get(daemon, path):
+    url = f"http://127.0.0.1:{daemon._server.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _post(daemon, path, payload):
+    url = f"http://127.0.0.1:{daemon._server.port}{path}"
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_status_reports_the_daemon_identity_and_queue(self, daemon):
+        status, body = _get(daemon, "/status")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["owner"] == daemon.owner
+        assert payload["queue"]["queued"] == 0
+        assert payload["capacity"] == 2
+
+    def test_submit_then_studies_then_report(self, daemon):
+        status, answer = _post(daemon, "/submit", SPEC.to_wire())
+        assert status == 200
+        assert answer["state"] == "queued"
+        fingerprint = answer["fingerprint"]
+
+        status, body = _get(daemon, "/studies")
+        assert status == 200
+        assert json.loads(body)[0]["fingerprint"] == fingerprint
+
+        status, body = _get(daemon, f"/studies/{fingerprint}")
+        assert json.loads(body)["state"] == "queued"
+
+        # No report yet: the study has not run.
+        status, _ = _get(daemon, f"/studies/{fingerprint}/report")
+        assert status == 404
+
+        # Serve in the background (as the real daemon does) and watch the
+        # report appear on the live API.
+        loop = threading.Thread(
+            target=daemon.serve_forever, kwargs={"until_idle": False}, daemon=True
+        )
+        loop.start()
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                status, body = _get(daemon, f"/studies/{fingerprint}/report")
+                if status == 200:
+                    break
+                time.sleep(0.1)
+        finally:
+            daemon.request_stop()
+            loop.join(timeout=10.0)
+        assert status == 200
+        assert b"QGJ fuzz summary" in body
+
+    def test_live_prometheus_and_dumpsys_expositions(self, daemon):
+        _post(daemon, "/submit", SPEC.to_wire())
+        status, body = _get(daemon, "/metrics")
+        assert status == 200
+        assert b"service_queue_depth" in body
+        status, body = _get(daemon, "/dumpsys")
+        assert status == 200
+        assert body  # the human exposition renders
+
+    def test_unknown_paths_and_studies_404(self, daemon):
+        assert _get(daemon, "/nope")[0] == 404
+        assert _get(daemon, "/studies/ffffffffffffffff")[0] == 404
+
+
+class TestSubmissionEdges:
+    def test_bad_spec_is_a_400(self, daemon):
+        status, answer = _post(daemon, "/submit", {"kind": "phone"})
+        assert status == 400
+        assert "bad spec" in answer["error"]
+
+    def test_backpressure_is_a_429_with_the_numbers(self, daemon):
+        for seed in (1, 2):
+            assert _post(
+                daemon, "/submit",
+                StudySpec(packages=(PKG,), campaigns=("A",), fault_seed=seed).to_wire(),
+            )[0] == 200
+        status, answer = _post(
+            daemon, "/submit",
+            StudySpec(packages=(PKG,), campaigns=("A",), fault_seed=3).to_wire(),
+        )
+        assert status == 429
+        assert answer["capacity"] == 2
+        assert answer["backlog"] == 2
+
+    def test_concurrent_submissions_serialize_on_the_queue_lock(self, daemon):
+        answers = []
+
+        def submit(seed):
+            answers.append(
+                _post(
+                    daemon, "/submit",
+                    StudySpec(
+                        packages=(PKG,), campaigns=("A",), fault_seed=seed
+                    ).to_wire(),
+                )
+            )
+
+        threads = [threading.Thread(target=submit, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        codes = sorted(code for code, _ in answers)
+        # Capacity 2: exactly two admitted, two explicitly rejected.
+        assert codes == [200, 200, 429, 429]

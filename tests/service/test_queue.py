@@ -1,0 +1,172 @@
+"""StudyQueue: admission control, monotonic leases, retries, recovery."""
+
+import pytest
+
+from repro.service.queue import AdmissionError, StudyQueue
+from repro.service.spec import StudySpec
+from repro.service.wal import DONE, LEASED, POISONED, QUEUED, ServiceWAL
+
+PKG = "com.pulsetrack.wear"
+
+
+def _spec(index):
+    """Distinct, cheap-to-validate specs (the seed varies the identity)."""
+    return StudySpec(packages=(PKG,), campaigns=("A",), fault_seed=index)
+
+
+class FakeClock:
+    """A controllable monotonic clock: only ever advances."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+    return StudyQueue(
+        wal, capacity=3, max_attempts=2, lease_ttl_s=60.0, clock=clock
+    )
+
+
+class TestAdmission:
+    def test_bounded_queue_rejects_past_capacity(self, queue):
+        for i in range(3):
+            queue.submit(_spec(i))
+        with pytest.raises(AdmissionError) as excinfo:
+            queue.submit(_spec(99))
+        assert excinfo.value.capacity == 3
+        assert excinfo.value.backlog == 3
+        assert queue.rejections == 1
+
+    def test_resubmission_is_idempotent_not_rejected(self, queue):
+        for i in range(3):
+            queue.submit(_spec(i))
+        # A known fingerprint is always admitted, even at capacity.
+        result = queue.submit(_spec(0))
+        assert result.state == QUEUED
+        assert not result.cached
+        assert queue.rejections == 0
+
+    def test_completed_study_resubmits_as_cached(self, queue):
+        fingerprint = queue.submit(_spec(0)).fingerprint
+        queue.claim("me")
+        queue.complete(fingerprint, "digest", "report")
+        result = queue.submit(_spec(0))
+        assert result.cached
+        assert result.state == DONE
+
+
+class TestLeases:
+    def test_claims_run_in_admission_order(self, queue):
+        fps = [queue.submit(_spec(i)).fingerprint for i in range(3)]
+        assert queue.claim("me").fingerprint == fps[0]
+        assert queue.claim("me").fingerprint == fps[1]
+
+    def test_lease_expires_on_the_monotonic_deadline(self, queue, clock):
+        fingerprint = queue.submit(_spec(0)).fingerprint
+        queue.claim("me")
+        clock.advance(59.0)
+        assert queue.expire() == []
+        clock.advance(2.0)
+        assert queue.expire() == [fingerprint]
+        assert queue.job(fingerprint).state == QUEUED
+        assert queue.lease_expiries == 1
+
+    def test_heartbeats_keep_a_slow_lease_alive(self, tmp_path, clock):
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        queue = StudyQueue(
+            wal, lease_ttl_s=1000.0, heartbeat_timeout_s=10.0, clock=clock
+        )
+        fingerprint = queue.submit(_spec(0)).fingerprint
+        queue.claim("me")
+        for _ in range(5):
+            clock.advance(8.0)
+            queue.heartbeat(fingerprint)
+        assert queue.expire() == []
+        clock.advance(11.0)  # heartbeat stops: presumed wedged
+        assert queue.expire() == [fingerprint]
+
+    def test_retries_are_bounded_then_poison(self, queue, clock):
+        fingerprint = queue.submit(_spec(0)).fingerprint
+        queue.claim("me")          # attempt 1
+        clock.advance(61.0)
+        queue.expire()
+        assert queue.job(fingerprint).state == QUEUED
+        queue.claim("me")          # attempt 2 == max_attempts
+        clock.advance(61.0)
+        queue.expire()
+        job = queue.job(fingerprint)
+        assert job.state == POISONED
+        assert "expired" in job.error
+        # The queue completes degraded: the poison job is never claimable.
+        assert queue.claim("me") is None
+
+    def test_fail_counts_toward_the_retry_bound(self, queue):
+        fingerprint = queue.submit(_spec(0)).fingerprint
+        queue.claim("me")
+        assert queue.fail(fingerprint, "boom") == QUEUED
+        queue.claim("me")
+        assert queue.fail(fingerprint, "boom again") == POISONED
+
+    def test_drained_release_is_not_a_failure(self, queue):
+        fingerprint = queue.submit(_spec(0)).fingerprint
+        queue.claim("me")
+        queue.release_drained(fingerprint, "me")
+        job = queue.job(fingerprint)
+        assert job.state == QUEUED
+        assert job.error == ""
+
+
+class TestRecovery:
+    def test_recover_reclaims_only_foreign_leases(self, tmp_path):
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        queue = StudyQueue(wal)
+        mine = queue.submit(_spec(0)).fingerprint
+        dead = queue.submit(_spec(1)).fingerprint
+        queue.claim("incarnation-2")  # FIFO: leases `mine`
+        queue.claim("incarnation-1")  # leases `dead`
+        # Rebuild from the WAL as incarnation-2 would see it after a crash.
+        queue2 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl")))
+        reclaimed = queue2.recover("incarnation-2")
+        assert reclaimed == [dead]
+        assert queue2.job(mine).state == LEASED  # still ours, still live
+        assert queue2.job(dead).state == QUEUED
+
+    def test_recovered_state_survives_a_second_replay(self, tmp_path):
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        queue = StudyQueue(wal)
+        fingerprint = queue.submit(_spec(0)).fingerprint
+        queue.claim("dead-incarnation")
+        queue2 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl")))
+        queue2.recover("live-incarnation")
+        # The requeue was WAL-first: a third replay agrees without recover().
+        queue3 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl")))
+        assert queue3.job(fingerprint).state == QUEUED
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"max_attempts": 0},
+            {"lease_ttl_s": 0.0},
+            {"heartbeat_timeout_s": 0.0},
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, tmp_path, kwargs):
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        with pytest.raises(ValueError):
+            StudyQueue(wal, **kwargs)

@@ -1,0 +1,77 @@
+"""StudySpec: canonical encoding, fingerprints, validation."""
+
+import pytest
+
+from repro.service.spec import StudySpec
+
+
+class TestFingerprint:
+    def test_defaults_elided_so_explicit_defaults_fingerprint_identically(self):
+        assert (
+            StudySpec().fingerprint()
+            == StudySpec(kind="wear", config="quick", workers=1).fingerprint()
+        )
+
+    def test_any_output_determining_knob_changes_the_fingerprint(self):
+        base = StudySpec().fingerprint()
+        assert StudySpec(config="paper").fingerprint() != base
+        assert StudySpec(fault_seed=7).fingerprint() != base
+        assert StudySpec(campaigns=("A",)).fingerprint() != base
+        assert StudySpec(workers=4).fingerprint() != base
+
+    def test_guided_knobs_only_count_for_guided_studies(self):
+        # scheduler is meaningless for kind="wear": it must not leak into
+        # the identity, or equal studies would cache-miss each other.
+        assert (
+            StudySpec(kind="wear", scheduler="ucb").fingerprint()
+            == StudySpec(kind="wear", scheduler="thompson").fingerprint()
+        )
+        assert (
+            StudySpec(kind="guided", scheduler="ucb").fingerprint()
+            != StudySpec(kind="guided", scheduler="thompson").fingerprint()
+        )
+
+    def test_wire_round_trip_preserves_identity(self):
+        spec = StudySpec(
+            kind="guided",
+            config="quick",
+            packages=("b", "a"),
+            campaigns=("A", "C"),
+            fault_seed=3,
+            compat_skew=2,
+            workers=2,
+            scheduler="thompson",
+            guided_budget=500,
+        )
+        again = StudySpec.from_wire(spec.to_wire())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+
+class TestValidation:
+    def test_unknown_wire_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            StudySpec.from_wire({"kind": "wear", "config": "quick", "extra": 1})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "phone"},
+            {"config": "no-such-scale"},
+            {"packages": ()},
+            {"campaigns": ("E",)},
+            {"workers": 0},
+            {"scheduler": "random"},
+            {"guided_budget": 0},
+            {"compat_skew": -1},
+        ],
+    )
+    def test_bad_knobs_are_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            StudySpec(**kwargs)
+
+    def test_chaos_knobs_compose_into_one_plan(self):
+        plan = StudySpec(fault_seed=5, service_fault_seed=9, compat_skew=2).build_plan()
+        assert plan is not None
+        assert plan.compat is not None
+        assert StudySpec().build_plan() is None

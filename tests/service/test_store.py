@@ -1,0 +1,102 @@
+"""ResultStore: idempotent persistence, segment queries, corpus merging."""
+
+import os
+
+from repro.guided.corpus import BehaviorCorpus, CorpusEntry
+from repro.guided.fingerprint import BehaviorFingerprint
+from repro.qgj.campaigns import FuzzIntent
+from repro.service.store import ResultStore, SegmentRecord
+
+
+def _segment(app="com.pulsetrack.wear", campaign="A", seed=17, fp="f" * 16):
+    return SegmentRecord(
+        app=app, campaign=campaign, seed=seed, fingerprint=fp,
+        counts={"sent": 10, "crashes": 2},
+    )
+
+
+class TestStudies:
+    def test_put_then_get_round_trips(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        stored = store.put_study("ab" * 8, {"kind": "wear"}, "the report\n")
+        assert stored.report_text() == "the report\n"
+        assert store.get("ab" * 8).digest == stored.digest
+        assert store.get("cd" * 8) is None
+
+    def test_put_is_idempotent_per_fingerprint(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = store.put_study("ab" * 8, {}, "the report\n", [_segment()])
+        again = store.put_study("ab" * 8, {}, "the report\n", [_segment()])
+        assert again.digest == first.digest
+        # No duplicate index records: a reload sees one study, one segment.
+        reloaded = ResultStore(str(tmp_path))
+        assert len(reloaded.studies()) == 1
+        assert len(reloaded.segments()) == 1
+
+    def test_store_survives_reload(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put_study("ab" * 8, {"kind": "wear"}, "report A\n", [_segment()])
+        store.put_study("cd" * 8, {"kind": "guided"}, "report B\n")
+        reloaded = ResultStore(str(tmp_path))
+        assert [s.fingerprint for s in reloaded.studies()] == ["ab" * 8, "cd" * 8]
+        assert reloaded.get("ab" * 8).report_text() == "report A\n"
+
+    def test_vanished_report_reads_as_absent(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        stored = store.put_study("ab" * 8, {}, "the report\n")
+        os.remove(stored.report_path)
+        # Indexed but gone: report absent, so the daemon re-runs instead
+        # of serving a dangling pointer.
+        assert ResultStore(str(tmp_path)).get("ab" * 8) is None
+
+
+class TestSegments:
+    def test_segments_query_by_app_campaign_seed(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put_study(
+            "ab" * 8,
+            {},
+            "r\n",
+            [
+                _segment(campaign="A", seed=17),
+                _segment(campaign="B", seed=17),
+                _segment(app="com.stridelog.wear", campaign="A", seed=3),
+            ],
+        )
+        assert len(store.segments()) == 3
+        assert len(store.segments(campaign="A")) == 2
+        assert len(store.segments(app="com.stridelog.wear")) == 1
+        assert len(store.segments(seed=17)) == 2
+        assert store.segments(campaign="B")[0].counts["sent"] == 10
+
+
+class TestCorpus:
+    def _corpus(self):
+        entry = CorpusEntry(
+            package="com.pulsetrack.wear",
+            campaign="A",
+            fingerprint=BehaviorFingerprint(
+                component="com.pulsetrack.wear/svc",
+                outcome="crash",
+                exception="java.lang.NullPointerException",
+                frame="Tracker.onStartCommand",
+                log_signature="npe",
+                lifecycle="fresh",
+            ),
+            intent=FuzzIntent(action="android.intent.action.VIEW", data=None),
+        )
+        return BehaviorCorpus([entry])
+
+    def test_merge_accumulates_and_persists(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert len(store.corpus()) == 0
+        merged = store.merge_corpus(self._corpus())
+        assert len(merged) == 1
+        assert len(ResultStore(str(tmp_path)).corpus()) == 1
+
+    def test_re_merging_after_a_crash_cannot_change_the_bytes(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.merge_corpus(self._corpus())
+        before = open(store.corpus_path, "rb").read()
+        store.merge_corpus(self._corpus())  # the recovery re-run's merge
+        assert open(store.corpus_path, "rb").read() == before

@@ -1,0 +1,101 @@
+"""ServiceWAL: write-ahead durability and torn-tail-tolerant replay."""
+
+import pytest
+
+from repro.service.spec import StudySpec
+from repro.service.wal import DONE, LEASED, POISONED, QUEUED, ServiceWAL
+
+SPEC = StudySpec(packages=("com.pulsetrack.wear",), campaigns=("A",))
+FP = SPEC.fingerprint()
+
+
+def _wal(tmp_path):
+    return ServiceWAL(str(tmp_path / "wal.jsonl"))
+
+
+class TestReplay:
+    def test_submit_lease_complete_folds_to_done(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.submit(FP, SPEC.to_wire())
+        wal.lease(FP, "daemon-1", 1, 60.0)
+        wal.complete(FP, "digest", "report.txt")
+        jobs, order = wal.replay()
+        assert order == [FP]
+        job = jobs[FP]
+        assert job.state == DONE
+        assert job.owner == ""
+        assert job.digest == "digest"
+        assert StudySpec.from_wire(job.spec_wire) == SPEC
+
+    def test_requeue_and_poison_transitions(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.submit(FP, SPEC.to_wire())
+        wal.lease(FP, "daemon-1", 1, 60.0)
+        wal.requeue(FP, "lease expired")
+        jobs, _ = wal.replay()
+        assert jobs[FP].state == QUEUED
+        wal.lease(FP, "daemon-2", 2, 60.0)
+        wal.poison(FP, "kept dying")
+        jobs, _ = wal.replay()
+        assert jobs[FP].state == POISONED
+        assert jobs[FP].error == "kept dying"
+
+    def test_duplicate_submit_replays_as_a_no_op(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.submit(FP, SPEC.to_wire())
+        wal.submit(FP, SPEC.to_wire())
+        jobs, order = wal.replay()
+        assert order == [FP]
+        assert jobs[FP].attempts == 0
+
+    def test_lease_survives_replay_with_its_owner(self, tmp_path):
+        # The recovering daemon decides liveness by incarnation identity,
+        # so the owner string must survive the round trip exactly.
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.submit(FP, SPEC.to_wire())
+        wal.lease(FP, "host:123:abcd", 2, 60.0)
+        jobs, _ = wal.replay()
+        assert jobs[FP].state == LEASED
+        assert jobs[FP].owner == "host:123:abcd"
+        assert jobs[FP].attempts == 2
+
+
+class TestDurabilityEdges:
+    def test_torn_final_record_is_truncated_and_surfaced(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.submit(FP, SPEC.to_wire())
+        wal.lease(FP, "daemon-1", 1, 60.0)
+        with open(wal.path, "ab") as fh:
+            fh.write(b'{"type": "complete", "fingerp')  # kill -9 mid-append
+        jobs, _ = wal.replay()
+        # The torn transition never happened: the lease is still the tail.
+        assert jobs[FP].state == LEASED
+        assert wal.recovered_bytes == len(b'{"type": "complete", "fingerp')
+
+    def test_transition_for_never_submitted_study_raises(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.lease(FP, "daemon-1", 1, 60.0)
+        with pytest.raises(ValueError, match="never-submitted"):
+            wal.replay()
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.submit(FP, SPEC.to_wire())
+        wal._append({"type": "vaporize", "fingerprint": FP})
+        with pytest.raises(ValueError, match="unknown WAL record type"):
+            wal.replay()
+
+    def test_foreign_header_is_rejected(self, tmp_path):
+        from repro.faults.journal import CheckpointJournal
+
+        path = str(tmp_path / "other.jsonl")
+        CheckpointJournal(path).start({"kind": "study-manifest"})
+        with pytest.raises(ValueError, match="not a service WAL"):
+            ServiceWAL(path).replay()
