@@ -243,6 +243,8 @@ exit codes:
   3    campaign killed by --kill-after (resumable via --resume)
   4    degraded: shards quarantined as poison (coverage dropped)
   5    service submission rejected by admission control (queue full)
+  6    service submit --wait: study quarantined as poison; no report
+  7    service submit --wait: no live daemon to complete the study
   130  interrupted (SIGINT/SIGTERM drain; resumable via --resume --
        or the service daemon drained: leased study checkpointed and
        released, the WAL still holds the queue)\

@@ -253,6 +253,9 @@ def _run_wear_shard(spec, handle, plane, runtime, kill_switch, heartbeat, attemp
         state = _load_shard_state(journal)
 
     if state is not None:
+        # Owning-writer resume: this shard appends segment records below,
+        # so a tail torn by the kill must be truncated off first.
+        journal.repair()
         watch = state["watch"]
         phone = state["phone"]
         corpus = state["corpus"]

@@ -9,8 +9,10 @@ database, scaled to the simulator.  Two files:
   record marks one completed ``(package, campaign)`` segment with its
   serialized results.  Every append is flushed and fsynced, so after a kill
   the journal holds exactly the completed segments.  A torn final line
-  (the crash landed mid-write) is truncated away on load, with the
-  recovered byte count noted on the returned header record.
+  (the crash landed mid-write) is dropped from the parse, with the
+  recovered byte count noted on the returned header record; the owning
+  writer's resume path additionally truncates it away (:meth:`repair`)
+  before appending again, while readers leave the file untouched.
 * ``<journal>.state`` -- a pickled snapshot of the full simulator state at
   the last completed segment boundary, written atomically (temp file,
   fsync, ``os.replace``).  Resume loads it and continues as if the kill
@@ -132,18 +134,27 @@ class CheckpointJournal:
 
     # -- journal reads ------------------------------------------------------------
     @staticmethod
-    def load(path: str, truncate: bool = True) -> List[Dict[str, Any]]:
-        """Parse a journal, tolerating and truncating a torn final line.
+    def load(path: str, truncate: bool = False) -> List[Dict[str, Any]]:
+        """Parse a journal, tolerating a torn final line.
 
         A crash mid-append (``kill -9`` between the write and the fsync
         landing in full) leaves a partial final record: either an
         unterminated tail or a terminated-but-unparsable last line.  Both
         mean the record was never durable, so both are *recovered*: the
-        file is truncated back to its durable prefix (best-effort -- a
-        read-only filesystem just skips the truncation) and the returned
-        header record carries a ``"recovered_bytes"`` note so resume
-        reporting can say what was dropped.  Corruption anywhere *before*
-        the final line is not a torn append and still raises.
+        partial record is dropped from the parse and the returned header
+        record carries a ``"recovered_bytes"`` note so resume reporting
+        can say what was dropped.  Corruption anywhere *before* the final
+        line is not a torn append and still raises.
+
+        By default the file itself is left untouched -- a concurrent
+        reader (a ``status`` poll against a live daemon's WAL, say) may
+        observe a writer's append mid-flight, and truncating what it
+        mistook for a torn tail would destroy a record the writer is
+        about to fsync.  Only the journal's *owning writer*, on its own
+        recovery path where no concurrent append can exist, passes
+        ``truncate=True`` (or calls :meth:`repair`) to cut the file back
+        to its durable prefix before appending again (best-effort -- a
+        read-only filesystem just skips the truncation).
         """
         records: List[Dict[str, Any]] = []
         with open(path, "rb") as fh:
@@ -181,6 +192,18 @@ class CheckpointJournal:
             # on disk stays exactly the bytes the writer produced.
             records[0]["recovered_bytes"] = recovered
         return records
+
+    def repair(self) -> int:
+        """Truncate a torn final line; returns the bytes dropped (0 if clean).
+
+        Owner-only: call this exactly where the next append would land
+        after a crash -- the writer's own resume path -- never from a
+        reader, which may be observing a live writer's in-flight append.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        records = self.load(self.path, truncate=True)
+        return int(records[0].get("recovered_bytes", 0))
 
     def header(self) -> Dict[str, Any]:
         return self.load(self.path)[0]

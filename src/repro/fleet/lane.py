@@ -118,7 +118,9 @@ def run_lane(
                 f"{fingerprint!r}) -- resume with the original fleet/cohorts/"
                 "lanes/workers"
             )
-        for record in journal.load(journal.path):
+        # Owning-writer resume: this lane appends right after, so a torn
+        # tail from the kill must be truncated off before the next record.
+        for record in journal.load(journal.path, truncate=True):
             if record.get("type") == "pair":
                 summary = PairSummary.from_record(record)
                 completed[summary.pair_id] = summary

@@ -10,7 +10,11 @@ tolerate them).  This package is that promotion, built robustness-first:
   fingerprinted description of one submitted study;
 * :mod:`repro.service.wal` -- the durable write-ahead study queue: an
   append-only JSONL log of submit/lease/complete/requeue/poison
-  transitions, fsynced per append, torn-tail tolerant on replay;
+  transitions, fsynced per append, torn-tail tolerant on replay (the
+  writer handle truncates the tail; reader handles never modify the file);
+* :mod:`repro.service.lock` -- the WAL writer role as a kernel ``flock``
+  on ``<root>/wal.lock``: held by the daemon for its lifetime, taken by
+  clients for offline submission, released by the kernel on death;
 * :mod:`repro.service.queue` -- the in-memory state machine over the WAL:
   admission control with explicit backpressure, lease-based claims with
   ``time.monotonic()`` heartbeat/deadline liveness, bounded retries and
@@ -37,7 +41,8 @@ fingerprint never re-runs anything: the stored result is served.
 from __future__ import annotations
 
 from repro.service.client import ServiceClient
-from repro.service.daemon import ServiceDaemon, SimulatedCrash
+from repro.service.daemon import RootLockedError, ServiceDaemon, SimulatedCrash
+from repro.service.lock import WriterLock
 from repro.service.queue import AdmissionError, StudyQueue
 from repro.service.spec import StudySpec
 from repro.service.store import ResultStore
@@ -46,10 +51,12 @@ from repro.service.wal import ServiceWAL
 __all__ = [
     "AdmissionError",
     "ResultStore",
+    "RootLockedError",
     "ServiceClient",
     "ServiceDaemon",
     "ServiceWAL",
     "SimulatedCrash",
     "StudyQueue",
     "StudySpec",
+    "WriterLock",
 ]

@@ -22,7 +22,7 @@ import time
 from typing import List, Optional
 
 from repro.service.client import ServiceClient
-from repro.service.daemon import ServiceDaemon
+from repro.service.daemon import RootLockedError, ServiceDaemon
 from repro.service.queue import (
     AdmissionError,
     DEFAULT_CAPACITY,
@@ -35,6 +35,8 @@ from repro.service.wal import DONE, POISONED
 EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_REJECTED = 5
+EXIT_POISONED = 6
+EXIT_NO_DAEMON = 7
 EXIT_DRAINED = 130
 
 USAGE = """\
@@ -89,10 +91,22 @@ status options:
 
 exit codes:
   0    ok (serve: queue idle with --until-idle; submit: admitted/cached)
-  2    usage error
+  2    usage error (serve: also when another daemon holds the ROOT's
+       writer lock)
   5    submission rejected by admission control (queue full)
+  6    submit --wait: the study was quarantined as poison; no report
+  7    submit: no daemon reachable to accept the study (one holds the
+       root's writer lock without an HTTP endpoint), or with --wait the
+       daemon died before the study completed; the WAL holds whatever
+       was admitted for the next serve
   130  serve: drained on SIGTERM/SIGINT (leased study checkpointed and
-       released; resubmit nothing -- the WAL still holds the queue)\
+       released; resubmit nothing -- the WAL still holds the queue)
+
+One writer per ROOT: the daemon holds a kernel flock (ROOT/wal.lock) for
+its lifetime, and offline submission takes the same lock, so two serves
+of one ROOT -- or a submit racing a starting daemon -- cannot interleave
+WAL appends.  A daemon running --no-http holds the lock but publishes no
+endpoint, so submissions to it fail; reads (status, report) always work.\
 """
 
 
@@ -122,14 +136,18 @@ def _serve(args: List[str]) -> int:
     parser.add_argument("--until-idle", action="store_true")
     parser.add_argument("--no-telemetry", action="store_true")
     opts = parser.parse_args(args)
-    daemon = ServiceDaemon(
-        opts.root,
-        capacity=opts.capacity,
-        max_attempts=opts.max_attempts,
-        lease_ttl_s=opts.lease_ttl,
-        http_port=None if opts.no_http else opts.port,
-        enable_telemetry=not opts.no_telemetry,
-    )
+    try:
+        daemon = ServiceDaemon(
+            opts.root,
+            capacity=opts.capacity,
+            max_attempts=opts.max_attempts,
+            lease_ttl_s=opts.lease_ttl,
+            http_port=None if opts.no_http else opts.port,
+            enable_telemetry=not opts.no_telemetry,
+        )
+    except RootLockedError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
     daemon.start()
     recovered = daemon.jobs_recovered
     line = f"serving {daemon.root} as {daemon.owner}"
@@ -171,15 +189,25 @@ def _spec_from_opts(opts) -> StudySpec:
     )
 
 
-def _wait_for_report(client: ServiceClient, fingerprint: str) -> Optional[str]:
-    """Poll until the study completes (its report) or poisons (None)."""
+def _wait_for_report(client: ServiceClient, fingerprint: str):
+    """Poll until the study resolves; ``(outcome, report_or_None)``.
+
+    Outcomes: ``"done"`` (report ready), ``"poisoned"`` (quarantined, no
+    report), ``"lost"`` (no live daemon to finish it -- waiting longer
+    cannot help; the WAL still holds the study for the next serve).  A
+    daemon observed dead gets one final re-check before ``"lost"``: it
+    may have completed the study and exited between polls.
+    """
     while True:
+        alive = client.daemon_alive()
         report = client.report(fingerprint)
         if report is not None:
-            return report
+            return "done", report
         job = client.study(fingerprint)
         if job is not None and job.get("state") == POISONED:
-            return None
+            return "poisoned", None
+        if not alive:
+            return "lost", None
         time.sleep(0.3)
 
 
@@ -210,17 +238,33 @@ def _submit(args: List[str]) -> int:
     except AdmissionError as exc:
         print(f"rejected: {exc}", file=sys.stderr)
         return EXIT_REJECTED
+    except ConnectionError as exc:
+        # A daemon holds the root (writer lock) but published no reachable
+        # HTTP endpoint (--no-http, or mid-startup past the wait window).
+        print(f"cannot submit: {exc}", file=sys.stderr)
+        return EXIT_NO_DAEMON
     state = "cached" if answer.get("cached") else answer.get("state", "?")
     print(f"{answer['fingerprint']}  {state}  {spec.describe()}")
     if answer.get("cached") or opts.wait:
-        report = (
-            client.report(str(answer["fingerprint"]))
-            if answer.get("cached")
-            else _wait_for_report(client, str(answer["fingerprint"]))
-        )
-        if report is None:
+        fingerprint = str(answer["fingerprint"])
+        if answer.get("cached"):
+            outcome, report = "done", client.report(fingerprint)
+            if report is None:
+                # Cached but its report vanished (operator deleted it):
+                # the queue will re-run on the next live resubmission.
+                outcome = "lost"
+        else:
+            outcome, report = _wait_for_report(client, fingerprint)
+        if outcome == "poisoned":
             print("study quarantined as poison; no report", file=sys.stderr)
-            return EXIT_OK
+            return EXIT_POISONED
+        if outcome == "lost":
+            print(
+                "no live daemon to complete the study; it stays queued in "
+                "the WAL -- start `serve` and re-check with `status`",
+                file=sys.stderr,
+            )
+            return EXIT_NO_DAEMON
         print(report, end="" if report.endswith("\n") else "\n")
     return EXIT_OK
 

@@ -3,9 +3,18 @@
 One daemon owns one service root::
 
     <root>/wal.jsonl         the durable study queue (write-ahead log)
+    <root>/wal.lock          the WAL writer flock (kernel-released on death)
     <root>/store/            reports, (app, campaign, seed) index, corpus
     <root>/jobs/<fp>/        per-study checkpoint journals while running
     <root>/daemon.json       discovery: pid, HTTP port, incarnation id
+    <root>/service.json      configured admission bounds (left behind on
+                             exit so offline clients admit consistently)
+
+Ownership is a kernel lock, not a convention: the daemon takes an
+exclusive flock on ``wal.lock`` before replaying the WAL and holds it for
+its lifetime, so offline clients can never append to a log this daemon
+has already cached in memory (see :mod:`repro.service.lock`), and a
+second daemon on the same root fails fast instead of double-claiming.
 
 The daemon is designed backwards from its own death.  Every transition is
 WAL-first; study execution checkpoints through the existing farm
@@ -45,6 +54,7 @@ from repro import faults, telemetry
 from repro.experiments.config import by_name
 from repro.farm import StudyManifest
 from repro.farm.health import ShardPoisonedError, StudyInterrupted
+from repro.service.lock import WriterLock
 from repro.service.queue import Claim, StudyQueue, SubmitResult
 from repro.service.spec import StudySpec
 from repro.service.store import ResultStore, SegmentRecord
@@ -60,6 +70,10 @@ from repro.telemetry.metrics import (
 #: Exit codes (the CLI exposes these; see the runner's exit-code table).
 EXIT_IDLE = 0
 EXIT_DRAINED = 130
+
+
+class RootLockedError(RuntimeError):
+    """Another live process holds the root's WAL writer lock."""
 
 
 class SimulatedCrash(BaseException):
@@ -120,19 +134,33 @@ class ServiceDaemon:
         os.makedirs(self.root, exist_ok=True)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.discovery_path = os.path.join(self.root, "daemon.json")
+        self.config_path = os.path.join(self.root, "service.json")
         #: Incarnation id: lease ownership and cross-restart death detection.
         self.owner = f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
         self.poll_interval_s = poll_interval_s
         self.http_port = http_port
         self.crash = crash_point if crash_point is not None else _NO_CRASH
-        self.wal = ServiceWAL(os.path.join(self.root, "wal.jsonl"))
-        self.store = ResultStore(os.path.join(self.root, "store"))
-        self.queue = StudyQueue(
-            self.wal,
-            capacity=capacity,
-            max_attempts=max_attempts,
-            lease_ttl_s=lease_ttl_s,
-        )
+        # The writer lock must be ours before the queue below replays the
+        # WAL: replay truncates a torn tail, which is only safe when no
+        # other process can be mid-append on the same file.
+        self._wal_lock = WriterLock(self.root)
+        if not self._wal_lock.acquire():
+            raise RootLockedError(
+                f"{self.root}: another process holds the WAL writer lock "
+                "(a daemon is already serving this root)"
+            )
+        try:
+            self.wal = ServiceWAL(os.path.join(self.root, "wal.jsonl"), writer=True)
+            self.store = ResultStore(os.path.join(self.root, "store"))
+            self.queue = StudyQueue(
+                self.wal,
+                capacity=capacity,
+                max_attempts=max_attempts,
+                lease_ttl_s=lease_ttl_s,
+            )
+        except BaseException:  # corrupt WAL/store: don't leak the writer role
+            self._wal_lock.release()
+            raise
         self.started_mono = time.monotonic()
         self.jobs_recovered = 0
         self.studies_completed = 0
@@ -163,33 +191,65 @@ class ServiceDaemon:
 
     def start(self) -> None:
         """Recover, publish discovery, and (optionally) start the HTTP API."""
-        self.recover()
-        if self.http_port is not None:
-            from repro.service.http_api import StatusServer
+        try:
+            self.recover()
+            self._write_config()
+            if self.http_port is not None:
+                from repro.service.http_api import StatusServer
 
-            self._server = StatusServer(self, port=self.http_port)
-            self._server.start()
-        self._write_discovery()
+                self._server = StatusServer(self, port=self.http_port)
+                self._server.start()
+            self._write_discovery()
+        except SimulatedCrash:
+            # A real SIGKILL drops the flock with the process; emulate the
+            # kernel's fd cleanup so in-process crash tests can restart.
+            self._wal_lock.release()
+            raise
 
-    def _write_discovery(self) -> None:
-        payload = {
-            "pid": os.getpid(),
-            "owner": self.owner,
-            "root": os.path.abspath(self.root),
-            "port": self._server.port if self._server is not None else None,
-        }
-        tmp = self.discovery_path + ".tmp"
+    def _atomic_json(self, path: str, payload: dict) -> None:
+        tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, sort_keys=True)
             fh.flush()
             os.fsync(fh.fileno())
-        os.replace(tmp, self.discovery_path)
+        os.replace(tmp, path)
+
+    def _write_discovery(self) -> None:
+        self._atomic_json(
+            self.discovery_path,
+            {
+                "pid": os.getpid(),
+                "owner": self.owner,
+                "root": os.path.abspath(self.root),
+                "port": self._server.port if self._server is not None else None,
+            },
+        )
+
+    def _write_config(self) -> None:
+        """Leave the admission bounds behind for offline clients.
+
+        Unlike discovery this file survives shutdown on purpose: an
+        offline submission admits against the capacity the root's daemon
+        was actually configured with, not a hardcoded default.
+        """
+        self._atomic_json(
+            self.config_path,
+            {
+                "capacity": self.queue.capacity,
+                "max_attempts": self.queue.max_attempts,
+                "lease_ttl_s": self.queue.lease_ttl_s,
+            },
+        )
 
     # -- submissions (HTTP handlers and in-process clients land here) -------------
     def submit(self, spec: StudySpec) -> SubmitResult:
-        result = self.queue.submit(spec)
-        self._publish_metrics()
-        self.crash.tick("wal:submit")
+        try:
+            result = self.queue.submit(spec)
+            self._publish_metrics()
+            self.crash.tick("wal:submit")
+        except SimulatedCrash:
+            self._wal_lock.release()  # see start(): simulated kernel cleanup
+            raise
         return result
 
     # -- the serving loop ---------------------------------------------------------
@@ -203,20 +263,27 @@ class ServiceDaemon:
         self._install_handlers()
         try:
             while not self._drain_requested and not self._stop_requested:
-                # Between executions every live lease is foreign (ours are
-                # released synchronously), so expiry cannot double-run.
-                expired = self.queue.expire()
-                if expired:
+                try:
+                    # Between executions every live lease is foreign (ours
+                    # are released synchronously), so expiry cannot
+                    # double-run.
+                    expired = self.queue.expire()
+                    if expired:
+                        self._publish_metrics()
+                    claim = self.queue.claim(self.owner)
+                    if claim is None:
+                        if until_idle:
+                            return EXIT_IDLE
+                        time.sleep(self.poll_interval_s)
+                        continue
                     self._publish_metrics()
-                claim = self.queue.claim(self.owner)
-                if claim is None:
-                    if until_idle:
-                        return EXIT_IDLE
-                    time.sleep(self.poll_interval_s)
-                    continue
-                self._publish_metrics()
-                self.crash.tick("wal:lease")
-                self._run_claim(claim)
+                    self.crash.tick("wal:lease")
+                    self._run_claim(claim)
+                except KeyboardInterrupt:
+                    # A second signal landed between claims (the poll
+                    # sleep, expire, claim): same contract as mid-study --
+                    # take the drain exit, not a traceback.
+                    self._drain_requested = True
         finally:
             self._restore_handlers()
             self._executing = None
@@ -225,6 +292,7 @@ class ServiceDaemon:
             if self._telemetry is not None:
                 telemetry.disable()
             self._remove_discovery()
+            self._wal_lock.release()
         return EXIT_DRAINED if self._drain_requested else EXIT_IDLE
 
     def request_drain(self) -> None:

@@ -1,0 +1,87 @@
+"""The WAL writer lock: one durable-queue writer per service root, ever.
+
+The WAL is single-writer by design -- the daemon's in-memory queue is a
+cache of the log, so a record appended by anyone else is a record the
+daemon never learns about (it would sit "queued" until the next restart),
+and two interleaved appenders could tear each other's records.  Discovery
+(``daemon.json``) cannot enforce that: it is written only *after* the
+daemon has replayed the WAL and started its HTTP surface, so a client
+probing discovery races the daemon's startup window.
+
+So the writer role is a kernel lock, not a file convention: the daemon
+takes an exclusive ``flock`` on ``<root>/wal.lock`` before it replays the
+WAL and holds it for its lifetime; a client wanting to submit offline
+must win the same lock first.  ``flock`` is released by the kernel when
+the holder dies -- ``kill -9`` included -- so a crashed daemon never
+leaves a stale lock behind, and holding the lock is *proof* that no
+daemon is mid-startup or mid-append, closing the discovery TOCTOU window.
+
+On platforms without ``fcntl`` the lock degrades to a no-op and the root
+is single-writer by convention only (the simulator targets POSIX; this
+keeps imports working elsewhere).
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: Lock file name inside a service root (next to ``wal.jsonl``).
+LOCK_FILENAME = "wal.lock"
+
+
+class WriterLock:
+    """Exclusive flock over one service root's WAL writer role."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.path = os.path.join(self.root, LOCK_FILENAME)
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self, blocking: bool = False) -> bool:
+        """Try to take the writer role; returns False when someone has it.
+
+        Idempotent for the holder.  The lock file itself is never removed
+        (removing it would let a racer lock a fresh inode while the old
+        holder still holds the old one); only its flock state matters.
+        """
+        if self._fd is not None:
+            return True
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            self._fd = fd
+            return True
+        flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+        try:
+            fcntl.flock(fd, flags)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        """Give the writer role back (no-op when not held)."""
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "WriterLock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -65,23 +65,36 @@ class SegmentRecord:
 
 
 class ResultStore:
-    """Durable, restart-surviving results under ``<root>/store/``."""
+    """Durable, restart-surviving results under ``<root>/store/``.
 
-    def __init__(self, root: str) -> None:
+    The daemon owns the store and opens it as the *writer* (the default):
+    it creates the layout, repairs a torn index tail on load, and appends.
+    Offline clients open with ``writer=False`` -- a read-only view that
+    creates nothing, never truncates (a torn-looking tail may be a live
+    daemon's append in flight), and loads empty when no index exists.
+    """
+
+    def __init__(self, root: str, writer: bool = True) -> None:
         self.root = str(root)
+        self.writer = writer
         self.reports_dir = os.path.join(self.root, "reports")
         self.index_path = os.path.join(self.root, "index.jsonl")
         self.corpus_path = os.path.join(self.root, "corpus.jsonl")
-        os.makedirs(self.reports_dir, exist_ok=True)
         self._index = CheckpointJournal(self.index_path)
-        if not os.path.exists(self.index_path):
-            self._index.start({"kind": "result-store", "index_version": INDEX_VERSION})
+        if writer:
+            os.makedirs(self.reports_dir, exist_ok=True)
+            if not os.path.exists(self.index_path):
+                self._index.start(
+                    {"kind": "result-store", "index_version": INDEX_VERSION}
+                )
         self._studies: Dict[str, StoredStudy] = {}
         self._segments: List[SegmentRecord] = []
         self._load()
 
     def _load(self) -> None:
-        records = CheckpointJournal.load(self.index_path)
+        if not self.writer and not os.path.exists(self.index_path):
+            return  # read-only view over a root with no store yet
+        records = CheckpointJournal.load(self.index_path, truncate=self.writer)
         header = records[0]
         if header.get("kind") != "result-store":
             raise ValueError(f"{self.index_path}: not a result-store index")
@@ -152,6 +165,8 @@ class ResultStore:
         before the index record that points at them, so the index never
         references a missing or partial report.
         """
+        if not self.writer:
+            raise RuntimeError(f"{self.root}: read-only store cannot put_study")
         existing = self._studies.get(fingerprint)
         if existing is not None and os.path.exists(existing.report_path):
             return existing
@@ -206,6 +221,8 @@ class ResultStore:
         the same corpus after a crash cannot change the stored bytes, and
         any submission order of guided studies converges on one corpus.
         """
+        if not self.writer:
+            raise RuntimeError(f"{self.root}: read-only store cannot merge_corpus")
         merged = BehaviorCorpus.merge([self.corpus(), corpus])
         tmp_path = self.corpus_path + ".tmp"
         merged.save(tmp_path)

@@ -5,9 +5,14 @@ drain -- is one appended JSONL record, flushed and fsynced before the
 transition takes effect anywhere else (write-ahead: the log IS the queue;
 memory is just its cache).  The file rides
 :class:`~repro.faults.journal.CheckpointJournal`, so a ``kill -9``
-mid-append leaves at worst a torn final line that replay truncates away --
-the transition simply never happened, which is exactly the state the rest
-of the system observed.
+mid-append leaves at worst a torn final line that the *writer's* replay
+truncates away -- the transition simply never happened, which is exactly
+the state the rest of the system observed.  Reader handles (offline
+``status``/``report`` clients) replay the same log but never modify it:
+what looks like a torn tail to a reader may be a live daemon's append in
+flight, and the single-writer role itself is enforced by the root's
+:class:`~repro.service.lock.WriterLock` (a kernel ``flock``, so a dead
+writer's lock dies with it).
 
 Replay folds the log into per-study :class:`JobRecord` states.  Records
 are keyed by the spec fingerprint; a duplicate ``submit`` for a known
@@ -74,14 +79,24 @@ class JobRecord:
 
 
 class ServiceWAL:
-    """Append-side and replay-side of the study queue's log."""
+    """Append-side and replay-side of the study queue's log.
 
-    def __init__(self, path: str) -> None:
+    A handle is either the *writer* -- the one process holding the root's
+    :class:`~repro.service.lock.WriterLock`, allowed to append and to
+    truncate a torn tail during replay -- or a *reader*, which may only
+    replay and must leave the file byte-for-byte alone (a reader's "torn
+    tail" may be a live writer's append in flight, and truncating it
+    would destroy a committed record after the writer's fsync lands).
+    """
+
+    def __init__(self, path: str, writer: bool = False) -> None:
         self.path = str(path)
+        self.writer = writer
         self._journal = CheckpointJournal(self.path)
         self._lock = threading.Lock()
-        #: Bytes of torn tail truncated by the last :meth:`replay` (0 when
+        #: Bytes of torn tail dropped by the last :meth:`replay` (0 when
         #: the log was clean) -- surfaced on the daemon's recovery line.
+        #: Only a writer handle also truncates them off the file.
         self.recovered_bytes = 0
 
     def ensure(self) -> None:
@@ -91,6 +106,11 @@ class ServiceWAL:
 
     # -- appends (each durable before it returns) ---------------------------------
     def _append(self, record: Dict[str, object]) -> None:
+        if not self.writer:
+            raise RuntimeError(
+                f"{self.path}: read-only WAL handle cannot append "
+                "(take the root's WriterLock and open with writer=True)"
+            )
         with self._lock:
             self._journal.append(record)
 
@@ -142,13 +162,19 @@ class ServiceWAL:
         """Fold the log into job states.
 
         Returns ``(jobs, order)`` where *order* is the fingerprints in
-        admission order.  Tolerates (and truncates) a torn final record;
-        anything else malformed raises, because a WAL that lies is worse
-        than one that is missing.
+        admission order.  Tolerates a torn final record -- and, on a
+        writer handle only, truncates it off the file before the next
+        append; anything else malformed raises, because a WAL that lies
+        is worse than one that is missing.  A reader handle over a root
+        with no WAL yet replays as empty without creating the file.
         """
-        self.ensure()
+        if self.writer:
+            self.ensure()
+        elif not os.path.exists(self.path):
+            self.recovered_bytes = 0
+            return {}, []
         with self._lock:
-            records = CheckpointJournal.load(self.path)
+            records = CheckpointJournal.load(self.path, truncate=self.writer)
         header = records[0]
         if header.get("kind") != "service-wal":
             raise ValueError(f"{self.path}: not a service WAL")

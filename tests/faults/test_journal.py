@@ -62,7 +62,7 @@ class TestJournal:
         torn = '{"type": "segment", "index": 1, "pack'
         with open(path, "a", encoding="utf-8") as fh:
             fh.write(torn)
-        records = CheckpointJournal.load(str(path))
+        records = CheckpointJournal.load(str(path), truncate=True)
         assert records[0]["recovered_bytes"] == len(torn)
         # The file shrank back to its durable prefix...
         assert path.stat().st_size == durable
@@ -82,21 +82,38 @@ class TestJournal:
         durable = path.stat().st_size
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"type": "segment", "ind\n')
-        records = CheckpointJournal.load(str(path))
+        records = CheckpointJournal.load(str(path), truncate=True)
         assert records[0]["recovered_bytes"] == len('{"type": "segment", "ind\n')
         assert path.stat().st_size == durable
         assert [r.get("index") for r in records if r["type"] == "segment"] == [0]
 
-    def test_load_without_truncate_leaves_the_file_alone(self, tmp_path):
+    def test_load_leaves_the_file_alone_by_default(self, tmp_path):
+        # Readers may be observing a live writer's in-flight append, so
+        # the default load never modifies the file -- only the owning
+        # writer truncates (truncate=True, or repair()).
         path = tmp_path / "run.jsonl"
         journal = CheckpointJournal(str(path))
         journal.start({"config": "quick"})
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"torn')
         size = path.stat().st_size
-        records = CheckpointJournal.load(str(path), truncate=False)
+        records = CheckpointJournal.load(str(path))
         assert records[0]["recovered_bytes"] == len('{"torn')
         assert path.stat().st_size == size
+
+    def test_repair_truncates_the_torn_tail_for_the_owner(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(str(path))
+        journal.start({"config": "quick"})
+        journal.append({"type": "segment", "index": 0})
+        durable = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        assert journal.repair() == len('{"torn')
+        assert path.stat().st_size == durable
+        # Clean file: repair is a no-op, and a missing file reports 0.
+        assert journal.repair() == 0
+        assert CheckpointJournal(str(tmp_path / "absent.jsonl")).repair() == 0
 
     def test_corrupt_interior_record_is_an_error(self, tmp_path):
         path = tmp_path / "run.jsonl"

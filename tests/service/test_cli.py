@@ -7,7 +7,15 @@ import pytest
 from repro import faults, telemetry
 from repro.experiments import runner
 from repro.service import StudySpec
-from repro.service.cli import EXIT_OK, EXIT_REJECTED, EXIT_USAGE, main
+from repro.service.cli import (
+    EXIT_NO_DAEMON,
+    EXIT_OK,
+    EXIT_POISONED,
+    EXIT_REJECTED,
+    EXIT_USAGE,
+    main,
+)
+from repro.service.lock import WriterLock
 
 PKG = "com.pulsetrack.wear"
 SPEC = StudySpec(packages=(PKG,), campaigns=("A",))
@@ -105,6 +113,63 @@ class TestExitCodes:
         assert code == EXIT_REJECTED
         assert "rejected" in capsys.readouterr().err
 
+    def test_wait_on_a_poisoned_study_exits_6(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        bad = ["submit", root, "quick", "--packages", "com.not.installed"]
+        assert main(bad) == EXIT_OK
+        main(
+            [
+                "serve", root, "--until-idle", "--no-http", "--no-telemetry",
+                "--max-attempts", "1",
+            ]
+        )
+        capsys.readouterr()
+        code = main(bad + ["--wait"])
+        assert code == EXIT_POISONED
+        assert "poison" in capsys.readouterr().err
+
+    def test_wait_with_no_live_daemon_exits_7(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        code = main(
+            [
+                "submit", root, "quick",
+                "--packages", PKG, "--campaigns", "A", "--wait",
+            ]
+        )
+        assert code == EXIT_NO_DAEMON
+        captured = capsys.readouterr()
+        # The submission itself was admitted and survives in the WAL.
+        assert "queued" in captured.out
+        assert "no live daemon" in captured.err
+
+    def test_submit_to_a_live_no_http_daemon_exits_7(self, tmp_path, capsys):
+        import json as _json
+        import os
+
+        # A live daemon without an HTTP surface: discovery names our own
+        # pid but publishes no port.  Submission must refuse cleanly --
+        # appending offline would hand the WAL a record the daemon's
+        # in-memory queue never learns about.
+        root = tmp_path / "svc"
+        root.mkdir()
+        (root / "daemon.json").write_text(
+            _json.dumps({"pid": os.getpid(), "port": None})
+        )
+        code = main(
+            ["submit", str(root), "quick", "--packages", PKG, "--campaigns", "A"]
+        )
+        assert code == EXIT_NO_DAEMON
+        assert "cannot submit" in capsys.readouterr().err
+        assert not (root / "wal.jsonl").exists()
+
+    def test_serve_on_a_locked_root_exits_2(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        with WriterLock(root) as lock:
+            lock.acquire()
+            code = main(["serve", root, "--until-idle", "--no-http"])
+        assert code == EXIT_USAGE
+        assert "writer lock" in capsys.readouterr().err
+
 
 class TestRunnerDispatch:
     def test_the_batch_entry_point_routes_service_subcommands(
@@ -119,4 +184,6 @@ class TestRunnerDispatch:
 
     def test_the_runner_usage_documents_the_service_exit_codes(self):
         assert "5    service submission rejected" in runner.USAGE
+        assert "6    service submit --wait: study quarantined" in runner.USAGE
+        assert "7    service submit --wait: no live daemon" in runner.USAGE
         assert "serve|submit|status" in runner.USAGE

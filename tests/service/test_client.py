@@ -1,0 +1,114 @@
+"""ServiceClient offline semantics: read-only reads, lock-gated writes.
+
+The review-driven contract under test: a client that falls back to the
+files must never modify what might be a live daemon's WAL (the "torn
+tail" it sees could be an append in flight), offline submission happens
+only under the root's writer flock, and offline admission honours the
+capacity the root's daemon was actually configured with.
+"""
+
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.lock import WriterLock
+from repro.service.queue import AdmissionError, DEFAULT_CAPACITY
+from repro.service.spec import StudySpec
+from repro.service.wal import ServiceWAL
+
+PKG = "com.pulsetrack.wear"
+
+
+def _spec(seed=None):
+    return StudySpec(packages=(PKG,), campaigns=("A",), fault_seed=seed)
+
+
+def _seeded_wal(root):
+    """A root whose WAL holds one submitted study, ending in a torn tail."""
+    root.mkdir(parents=True, exist_ok=True)
+    wal = ServiceWAL(str(root / "wal.jsonl"), writer=True)
+    wal.ensure()
+    wal.submit(_spec().fingerprint(), _spec().to_wire())
+    with open(wal.path, "ab") as fh:
+        fh.write(b'{"type": "lease", "fingerp')  # a writer mid-append
+    return root / "wal.jsonl"
+
+
+class TestOfflineReads:
+    def test_status_leaves_a_torn_wal_untouched(self, tmp_path):
+        wal_path = _seeded_wal(tmp_path / "svc")
+        size = wal_path.stat().st_size
+        status = ServiceClient(str(tmp_path / "svc")).status()
+        assert status["offline"] is True
+        assert status["queue"]["queued"] == 1  # in-flight append dropped
+        assert wal_path.stat().st_size == size  # ...but never truncated
+
+    def test_status_of_a_virgin_root_creates_nothing(self, tmp_path):
+        root = tmp_path / "never-served"
+        status = ServiceClient(str(root)).status()
+        assert status["depth"] == 0
+        assert not root.exists()
+
+    def test_report_of_a_virgin_root_is_none(self, tmp_path):
+        root = tmp_path / "never-served"
+        assert ServiceClient(str(root)).report("no-such-fp") is None
+        assert not root.exists()
+
+
+class TestOfflineSubmission:
+    def test_submit_takes_the_writer_lock_and_repairs(self, tmp_path):
+        wal_path = _seeded_wal(tmp_path / "svc")
+        torn_size = wal_path.stat().st_size
+        client = ServiceClient(str(tmp_path / "svc"))
+        answer = client.submit(_spec(seed=7))
+        assert answer["state"] == "queued"
+        # As the lock-holding writer it truncated the torn tail before
+        # appending, so the log parses clean end to end...
+        jobs, order = ServiceWAL(str(wal_path)).replay()
+        assert len(order) == 2
+        assert wal_path.stat().st_size != torn_size
+        # ...and released the lock on the way out.
+        assert WriterLock(str(tmp_path / "svc")).acquire()
+
+    def test_submit_times_out_when_the_lock_is_held_without_discovery(
+        self, tmp_path
+    ):
+        # A held lock with no published discovery is a daemon mid-startup
+        # or running --no-http: the client must not append, and says so.
+        root = tmp_path / "svc"
+        holder = WriterLock(str(root))
+        assert holder.acquire()
+        try:
+            client = ServiceClient(str(root), timeout_s=0.2)
+            with pytest.raises(ConnectionError, match="writer lock is held"):
+                client.submit(_spec())
+            assert not (root / "wal.jsonl").exists()
+        finally:
+            holder.release()
+
+
+class TestOfflineAdmission:
+    def test_capacity_comes_from_the_service_config(self, tmp_path):
+        root = tmp_path / "svc"
+        root.mkdir()
+        (root / "service.json").write_text(
+            json.dumps({"capacity": 2, "max_attempts": 3})
+        )
+        client = ServiceClient(str(root))
+        assert client.service_config() == (2, 3)
+        client.submit(_spec(seed=0))
+        client.submit(_spec(seed=1))
+        with pytest.raises(AdmissionError) as excinfo:
+            client.submit(_spec(seed=2))
+        assert excinfo.value.capacity == 2
+
+    def test_missing_or_garbage_config_falls_back_to_defaults(self, tmp_path):
+        root = tmp_path / "svc"
+        client = ServiceClient(str(root))
+        assert client.service_config()[0] == DEFAULT_CAPACITY
+        root.mkdir()
+        (root / "service.json").write_text("not json{")
+        assert client.service_config()[0] == DEFAULT_CAPACITY
+        (root / "service.json").write_text(json.dumps({"capacity": 0}))
+        assert client.service_config()[0] == DEFAULT_CAPACITY

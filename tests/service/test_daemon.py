@@ -17,7 +17,8 @@ from repro import faults, telemetry
 from repro.experiments import wear_experiment
 from repro.faults.errors import CampaignKilled
 from repro.service import ServiceDaemon, SimulatedCrash, StudySpec
-from repro.service.daemon import CrashPoint, EXIT_DRAINED, EXIT_IDLE
+from repro.service.daemon import CrashPoint, EXIT_DRAINED, EXIT_IDLE, RootLockedError
+from repro.service.lock import WriterLock
 from repro.service.wal import DONE, POISONED
 
 PKG = "com.pulsetrack.wear"
@@ -224,3 +225,62 @@ class TestServiceSemantics:
         # Clean exit removes discovery; SIGKILL would leave it, and the
         # client's pid probe treats the stale file as "no daemon".
         assert not (root / "daemon.json").exists()
+
+    def test_config_leftovers_survive_shutdown(self, tmp_path):
+        import json
+
+        root = tmp_path / "svc"
+        daemon = _daemon(root, capacity=5, max_attempts=2)
+        daemon.start()
+        daemon.serve_forever(until_idle=True)
+        # Unlike discovery, service.json stays: offline clients admit
+        # against the configured bounds, not hardcoded defaults.
+        with open(root / "service.json", encoding="utf-8") as fh:
+            config = json.load(fh)
+        assert config["capacity"] == 5
+        assert config["max_attempts"] == 2
+
+
+class TestWriterLock:
+    def test_second_daemon_on_a_served_root_fails_fast(self, tmp_path):
+        root = tmp_path / "svc"
+        first = _daemon(root)
+        with pytest.raises(RootLockedError, match="writer lock"):
+            _daemon(root)
+        # ...and the loser's failed acquire did not break the holder.
+        first.start()
+        first.submit(SPEC)
+        assert first.serve_forever(until_idle=True) == EXIT_IDLE
+
+    def test_lock_is_released_after_serve_forever(self, tmp_path):
+        root = tmp_path / "svc"
+        daemon = _daemon(root)
+        daemon.start()
+        daemon.serve_forever(until_idle=True)
+        replacement = _daemon(root)  # would raise were the lock leaked
+        replacement.serve_forever(until_idle=True)
+
+    def test_simulated_crash_releases_the_lock_like_a_real_kill(self, tmp_path):
+        # A real SIGKILL drops the flock with the process; the in-process
+        # simulation must end in the same lock state or restarts deadlock.
+        root = tmp_path / "svc"
+        first = _daemon(root, crash_point=CrashPoint(limit=1))
+        with pytest.raises(SimulatedCrash):
+            first.start()
+        second = _daemon(root)
+        second.serve_forever(until_idle=True)
+
+
+class TestSignalRobustness:
+    def test_interrupt_between_claims_exits_drained(self, tmp_path, monkeypatch):
+        # A second SIGTERM can land while the loop is between claims (poll
+        # sleep, expire): it must take the documented drain exit, not
+        # escape serve_forever as a traceback.
+        daemon = _daemon(tmp_path / "svc")
+        daemon.start()
+
+        def interrupting_expire():
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(daemon.queue, "expire", interrupting_expire)
+        assert daemon.serve_forever(until_idle=True) == EXIT_DRAINED

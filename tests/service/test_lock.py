@@ -1,0 +1,39 @@
+"""WriterLock: exclusive, idempotent, kernel-scoped writer role."""
+
+from repro.service.lock import LOCK_FILENAME, WriterLock
+
+
+class TestWriterLock:
+    def test_exclusive_between_handles(self, tmp_path):
+        # flock conflicts are per open file description, so two handles in
+        # one process model two processes faithfully.
+        first = WriterLock(str(tmp_path))
+        second = WriterLock(str(tmp_path))
+        assert first.acquire()
+        assert not second.acquire()
+        first.release()
+        assert second.acquire()
+        second.release()
+
+    def test_acquire_is_idempotent_for_the_holder(self, tmp_path):
+        lock = WriterLock(str(tmp_path))
+        assert lock.acquire()
+        assert lock.acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+        lock.release()  # double release is a no-op
+
+    def test_lock_file_persists_across_release(self, tmp_path):
+        # The file is never removed: unlinking would let a racer lock a
+        # fresh inode while the old holder still holds the old one.
+        lock = WriterLock(str(tmp_path))
+        lock.acquire()
+        lock.release()
+        assert (tmp_path / LOCK_FILENAME).exists()
+
+    def test_context_manager_releases(self, tmp_path):
+        with WriterLock(str(tmp_path)) as lock:
+            assert lock.acquire()
+        assert not lock.held
+        assert WriterLock(str(tmp_path)).acquire()

@@ -34,7 +34,7 @@ def clock():
 
 @pytest.fixture
 def queue(tmp_path, clock):
-    wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+    wal = ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True)
     return StudyQueue(
         wal, capacity=3, max_attempts=2, lease_ttl_s=60.0, clock=clock
     )
@@ -85,7 +85,7 @@ class TestLeases:
         assert queue.lease_expiries == 1
 
     def test_heartbeats_keep_a_slow_lease_alive(self, tmp_path, clock):
-        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True)
         queue = StudyQueue(
             wal, lease_ttl_s=1000.0, heartbeat_timeout_s=10.0, clock=clock
         )
@@ -131,28 +131,28 @@ class TestLeases:
 
 class TestRecovery:
     def test_recover_reclaims_only_foreign_leases(self, tmp_path):
-        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True)
         queue = StudyQueue(wal)
         mine = queue.submit(_spec(0)).fingerprint
         dead = queue.submit(_spec(1)).fingerprint
         queue.claim("incarnation-2")  # FIFO: leases `mine`
         queue.claim("incarnation-1")  # leases `dead`
         # Rebuild from the WAL as incarnation-2 would see it after a crash.
-        queue2 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl")))
+        queue2 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True))
         reclaimed = queue2.recover("incarnation-2")
         assert reclaimed == [dead]
         assert queue2.job(mine).state == LEASED  # still ours, still live
         assert queue2.job(dead).state == QUEUED
 
     def test_recovered_state_survives_a_second_replay(self, tmp_path):
-        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True)
         queue = StudyQueue(wal)
         fingerprint = queue.submit(_spec(0)).fingerprint
         queue.claim("dead-incarnation")
-        queue2 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl")))
+        queue2 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True))
         queue2.recover("live-incarnation")
         # The requeue was WAL-first: a third replay agrees without recover().
-        queue3 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl")))
+        queue3 = StudyQueue(ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True))
         assert queue3.job(fingerprint).state == QUEUED
 
 
@@ -167,6 +167,6 @@ class TestValidation:
         ],
     )
     def test_bad_knobs_are_rejected(self, tmp_path, kwargs):
-        wal = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        wal = ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True)
         with pytest.raises(ValueError):
             StudyQueue(wal, **kwargs)

@@ -2,6 +2,8 @@
 
 import os
 
+import pytest
+
 from repro.guided.corpus import BehaviorCorpus, CorpusEntry
 from repro.guided.fingerprint import BehaviorFingerprint
 from repro.qgj.campaigns import FuzzIntent
@@ -40,6 +42,22 @@ class TestStudies:
         reloaded = ResultStore(str(tmp_path))
         assert [s.fingerprint for s in reloaded.studies()] == ["ab" * 8, "cd" * 8]
         assert reloaded.get("ab" * 8).report_text() == "report A\n"
+
+    def test_read_only_store_neither_creates_nor_writes(self, tmp_path):
+        root = tmp_path / "never-served"
+        reader = ResultStore(str(root), writer=False)
+        assert reader.studies() == []
+        assert reader.get("ab" * 8) is None
+        assert not root.exists()
+        with pytest.raises(RuntimeError, match="read-only"):
+            reader.put_study("ab" * 8, {}, "r\n")
+        with pytest.raises(RuntimeError, match="read-only"):
+            reader.merge_corpus(BehaviorCorpus())
+
+    def test_read_only_store_serves_an_existing_index(self, tmp_path):
+        ResultStore(str(tmp_path)).put_study("ab" * 8, {}, "the report\n")
+        reader = ResultStore(str(tmp_path), writer=False)
+        assert reader.get("ab" * 8).report_text() == "the report\n"
 
     def test_vanished_report_reads_as_absent(self, tmp_path):
         store = ResultStore(str(tmp_path))

@@ -10,7 +10,7 @@ FP = SPEC.fingerprint()
 
 
 def _wal(tmp_path):
-    return ServiceWAL(str(tmp_path / "wal.jsonl"))
+    return ServiceWAL(str(tmp_path / "wal.jsonl"), writer=True)
 
 
 class TestReplay:
@@ -99,3 +99,38 @@ class TestDurabilityEdges:
         CheckpointJournal(path).start({"kind": "study-manifest"})
         with pytest.raises(ValueError, match="not a service WAL"):
             ServiceWAL(path).replay()
+
+
+class TestReaderHandles:
+    def test_reader_cannot_append(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.ensure()
+        reader = ServiceWAL(wal.path)
+        with pytest.raises(RuntimeError, match="read-only"):
+            reader.submit(FP, SPEC.to_wire())
+
+    def test_reader_replay_of_missing_wal_is_empty_and_creates_nothing(
+        self, tmp_path
+    ):
+        reader = ServiceWAL(str(tmp_path / "wal.jsonl"))
+        jobs, order = reader.replay()
+        assert (jobs, order) == ({}, [])
+        assert not (tmp_path / "wal.jsonl").exists()
+
+    def test_reader_replay_leaves_a_torn_tail_on_disk(self, tmp_path):
+        # What looks torn to a reader may be a live writer's append in
+        # flight -- truncating it could destroy a committed record.
+        wal = _wal(tmp_path)
+        wal.ensure()
+        wal.submit(FP, SPEC.to_wire())
+        with open(wal.path, "ab") as fh:
+            fh.write(b'{"type": "lease", "fingerp')
+        size = (tmp_path / "wal.jsonl").stat().st_size
+        reader = ServiceWAL(wal.path)
+        jobs, _ = reader.replay()
+        assert jobs[FP].state == QUEUED  # in-flight record dropped from parse
+        assert (tmp_path / "wal.jsonl").stat().st_size == size
+        # The writer's own replay then truncates it for real.
+        jobs, _ = wal.replay()
+        assert jobs[FP].state == QUEUED
+        assert (tmp_path / "wal.jsonl").stat().st_size < size
